@@ -1,0 +1,370 @@
+package dsmphase
+
+// Benchmark harness: one benchmark per table and figure of the paper,
+// plus the ablations called out in DESIGN.md §6 and micro-benchmarks of
+// the hot paths. Benchmarks run reduced inputs so `go test -bench=.`
+// finishes in minutes; regenerate paper-scale data with cmd/covcurve
+// (-size full -interval 3000000).
+//
+//	BenchmarkTableI_*    — the simulated machine itself (throughput)
+//	BenchmarkTableII_*   — workload instruction-stream generation
+//	BenchmarkFigure2_*   — baseline BBV CoV curves at 2/8/32 nodes
+//	BenchmarkFigure4_*   — BBV vs BBV+DDV at 8/32 nodes
+//	BenchmarkOverhead_*  — the §III-B DDS bandwidth model
+//	BenchmarkAblation_*  — design-choice ablations
+//	Benchmark<hot path>  — detector and substrate micro-benchmarks
+
+import (
+	"fmt"
+	"testing"
+
+	"dsmphase/internal/cache"
+	"dsmphase/internal/coherence"
+	"dsmphase/internal/core"
+	"dsmphase/internal/cpu"
+	"dsmphase/internal/harness"
+	"dsmphase/internal/isa"
+	"dsmphase/internal/machine"
+	"dsmphase/internal/memory"
+	"dsmphase/internal/network"
+	"dsmphase/internal/stats"
+	"dsmphase/internal/workloads"
+)
+
+// benchRC builds the standard reduced-scale run for figure benchmarks.
+func benchRC(app string, procs int) harness.RunConfig {
+	return harness.RunConfig{
+		Workload:             app,
+		Size:                 workloads.SizeTest,
+		Procs:                procs,
+		IntervalInstructions: 40_000 / uint64(procs),
+		Seed:                 1,
+	}
+}
+
+// simulateOnce runs one simulation and reports simulator throughput.
+func simulateOnce(b *testing.B, rc harness.RunConfig) (*machine.Machine, machine.Summary) {
+	b.Helper()
+	m, sum, err := harness.Simulate(rc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, sum
+}
+
+// ---- Table I: the simulated machine ----
+
+// BenchmarkTableI_MachineThroughput measures end-to-end simulation speed
+// of the Table I system (instructions simulated per second).
+func BenchmarkTableI_MachineThroughput(b *testing.B) {
+	rc := benchRC("lu", 8)
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		_, sum := simulateOnce(b, rc)
+		instrs += sum.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkTableI_ProtocolAccess measures a single coherence transaction
+// on the Table I memory system.
+func BenchmarkTableI_ProtocolAccess(b *testing.B) {
+	net := network.New(8, network.DefaultConfig())
+	home := func(line uint64) int { return int(line % 8) }
+	p := coherence.New(8, cache.L1Default(), cache.L2Default(),
+		memory.DefaultConfig(), net, coherence.DefaultCosts(), home)
+	var t uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := p.Access(t, i%8, uint64(i%4096)*32, i%4 == 0)
+		t = r.Done
+	}
+}
+
+// BenchmarkTableI_NetworkSend measures hypercube message injection.
+func BenchmarkTableI_NetworkSend(b *testing.B) {
+	h := network.New(32, network.DefaultConfig())
+	var t uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t = h.Send(t, i%32, (i*7+5)%32, 40)
+	}
+}
+
+// ---- Table II: the applications ----
+
+func BenchmarkTableII_Generation(b *testing.B) {
+	for _, w := range workloads.All() {
+		w := w
+		b.Run(w.Name(), func(b *testing.B) {
+			var instrs uint64
+			for i := 0; i < b.N; i++ {
+				e := isa.NewEmitter(1 << 16)
+				for _, th := range w.Threads(4, workloads.SizeTest, 1) {
+					for {
+						e.Reset()
+						if !th.NextBatch(e) {
+							break
+						}
+						instrs += uint64(e.Len())
+					}
+				}
+			}
+			b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+		})
+	}
+}
+
+// ---- Figure 2: baseline BBV degradation with node count ----
+
+func BenchmarkFigure2(b *testing.B) {
+	for _, app := range []string{"fmm", "lu", "equake", "art"} {
+		for _, procs := range []int{2, 8, 32} {
+			name := fmt.Sprintf("%s/%dP", app, procs)
+			b.Run(name, func(b *testing.B) {
+				rc := benchRC(app, procs)
+				var lastCoV float64
+				for i := 0; i < b.N; i++ {
+					m, sum := simulateOnce(b, rc)
+					c := harness.SweepMachine(m, rc, core.DetectorBBV, sum)
+					lastCoV = c.Curve.CoVAt(25)
+				}
+				b.ReportMetric(lastCoV, "CoV@25phases")
+			})
+		}
+	}
+}
+
+// ---- Figure 4: BBV vs BBV+DDV ----
+
+func BenchmarkFigure4(b *testing.B) {
+	for _, app := range []string{"fmm", "lu", "equake", "art"} {
+		for _, procs := range []int{8, 32} {
+			for _, kind := range []core.DetectorKind{core.DetectorBBV, core.DetectorBBVDDV} {
+				name := fmt.Sprintf("%s/%dP/%s", app, procs, kind)
+				b.Run(name, func(b *testing.B) {
+					rc := benchRC(app, procs)
+					var lastCoV float64
+					for i := 0; i < b.N; i++ {
+						m, sum := simulateOnce(b, rc)
+						c := harness.SweepMachine(m, rc, kind, sum)
+						lastCoV = c.Curve.CoVAt(25)
+					}
+					b.ReportMetric(lastCoV, "CoV@25phases")
+				})
+			}
+		}
+	}
+}
+
+// ---- §III-B: DDS exchange overhead model ----
+
+func BenchmarkOverhead_Model(b *testing.B) {
+	o := core.PaperOverheadConfig()
+	var bw float64
+	for i := 0; i < b.N; i++ {
+		bw = o.BandwidthPerProcessor()
+	}
+	b.ReportMetric(bw/1e3, "kB/s")
+}
+
+// BenchmarkOverhead_MeasuredGather compares simulated runtime with the
+// DDS gather charged versus free, measuring the mechanism's real cost on
+// the simulated network (the paper argues it is negligible).
+func BenchmarkOverhead_MeasuredGather(b *testing.B) {
+	for _, charge := range []bool{false, true} {
+		b.Run(fmt.Sprintf("charge=%v", charge), func(b *testing.B) {
+			rc := benchRC("lu", 8)
+			rc.Tweak = func(c *machine.Config) { c.ChargeDDSGather = charge }
+			var cycles float64
+			for i := 0; i < b.N; i++ {
+				_, sum := simulateOnce(b, rc)
+				cycles = sum.Cycles
+			}
+			b.ReportMetric(cycles, "simcycles")
+		})
+	}
+}
+
+// ---- Ablations (DESIGN.md §6) ----
+
+// BenchmarkAblation_Detector compares all three detector kinds on the
+// same workload, reporting classification quality.
+func BenchmarkAblation_Detector(b *testing.B) {
+	for _, kind := range []core.DetectorKind{core.DetectorWSS, core.DetectorBBV, core.DetectorDDS, core.DetectorBBVDDV} {
+		b.Run(kind.String(), func(b *testing.B) {
+			rc := benchRC("lu", 8)
+			var lastCoV float64
+			for i := 0; i < b.N; i++ {
+				m, sum := simulateOnce(b, rc)
+				c := harness.SweepMachine(m, rc, kind, sum)
+				lastCoV = c.Curve.CoVAt(25)
+			}
+			b.ReportMetric(lastCoV, "CoV@25phases")
+		})
+	}
+}
+
+// BenchmarkAblation_Contention removes the contention vector C from the
+// DDS product.
+func BenchmarkAblation_Contention(b *testing.B) {
+	for _, ignore := range []bool{false, true} {
+		b.Run(fmt.Sprintf("ignoreC=%v", ignore), func(b *testing.B) {
+			rc := benchRC("art", 8)
+			rc.Tweak = func(c *machine.Config) { c.DDS.IgnoreContention = ignore }
+			var lastCoV float64
+			for i := 0; i < b.N; i++ {
+				m, sum := simulateOnce(b, rc)
+				c := harness.SweepMachine(m, rc, core.DetectorBBVDDV, sum)
+				lastCoV = c.Curve.CoVAt(25)
+			}
+			b.ReportMetric(lastCoV, "CoV@25phases")
+		})
+	}
+}
+
+// BenchmarkAblation_Distance replaces the hop-based distance matrix with
+// all-ones.
+func BenchmarkAblation_Distance(b *testing.B) {
+	for _, uniform := range []bool{false, true} {
+		b.Run(fmt.Sprintf("uniformD=%v", uniform), func(b *testing.B) {
+			rc := benchRC("lu", 8)
+			rc.Tweak = func(c *machine.Config) { c.UniformDistance = uniform }
+			var lastCoV float64
+			for i := 0; i < b.N; i++ {
+				m, sum := simulateOnce(b, rc)
+				c := harness.SweepMachine(m, rc, core.DetectorBBVDDV, sum)
+				lastCoV = c.Curve.CoVAt(25)
+			}
+			b.ReportMetric(lastCoV, "CoV@25phases")
+		})
+	}
+}
+
+// BenchmarkAblation_FootprintSize varies the footprint-table capacity
+// around the paper's 32 entries.
+func BenchmarkAblation_FootprintSize(b *testing.B) {
+	rc := benchRC("fmm", 8)
+	m, sum, err := harness.Simulate(rc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = sum
+	recs := m.RecordsByProc()
+	for _, size := range []int{8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("entries=%d", size), func(b *testing.B) {
+			sc := harness.DefaultSweep(core.DetectorBBVDDV, 4)
+			sc.TableSize = size
+			var env stats.Curve
+			for i := 0; i < b.N; i++ {
+				env = stats.LowerEnvelope(harness.Sweep(recs, sc))
+			}
+			b.ReportMetric(env.CoVAt(25), "CoV@25phases")
+		})
+	}
+}
+
+// BenchmarkAblation_SweepVsResim quantifies the key harness design
+// choice: replaying classification over recorded signatures versus
+// re-simulating per threshold.
+func BenchmarkAblation_SweepVsResim(b *testing.B) {
+	rc := benchRC("lu", 4)
+	thresholds := harness.DefaultBBVThresholds(20)
+	b.Run("offline-sweep", func(b *testing.B) {
+		m, _, err := harness.Simulate(rc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs := m.RecordsByProc()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			harness.Sweep(recs, harness.SweepConfig{
+				Kind: core.DetectorBBV, BBVThresholds: thresholds,
+			})
+		}
+	})
+	b.Run("resimulate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for range thresholds {
+				// One full simulation per threshold — what the offline
+				// sweep avoids.
+				simulateOnce(b, rc)
+			}
+		}
+	})
+}
+
+// ---- Micro-benchmarks of detector hot paths ----
+
+func BenchmarkManhattan(b *testing.B) {
+	x := make([]float64, 32)
+	y := make([]float64, 32)
+	for i := range x {
+		x[i] = float64(i) / 32
+		y[i] = float64(31-i) / 32
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Manhattan(x, y)
+	}
+}
+
+func BenchmarkAccumulator(b *testing.B) {
+	a := core.NewAccumulator(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Instruction()
+		if i%5 == 0 {
+			a.Branch(uint32(i))
+		}
+	}
+}
+
+func BenchmarkFootprintClassify(b *testing.B) {
+	ft := core.NewFootprintTable(32, 0.1)
+	sig := make([]float64, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range sig {
+			sig[j] = 0
+		}
+		sig[i%32] = 1
+		ft.Classify(sig, 0)
+	}
+}
+
+func BenchmarkFrequencyMatrix(b *testing.B) {
+	f := core.NewFrequencyMatrix(32)
+	buf := make([]uint64, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Access(i % 32)
+		if i%1024 == 0 {
+			buf = f.QueryAndReset(i%32, buf)
+		}
+	}
+}
+
+func BenchmarkComputeDDS(b *testing.B) {
+	n := 32
+	net := network.New(n, network.DefaultConfig())
+	d := core.NewDistanceMatrix(n, net.Hops)
+	freq := make([]uint64, n)
+	cont := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		freq[i] = uint64(i * 100)
+		cont[i] = uint64(i * 500)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ComputeDDS(3, freq, cont, d, core.DDSOptions{})
+	}
+}
+
+func BenchmarkGshare(b *testing.B) {
+	g := cpu.NewGshare(2048, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Update(uint32(i*4), i%3 != 0)
+	}
+}

@@ -1,0 +1,237 @@
+// Command covcurve regenerates the paper's CoV-curve figures.
+//
+//	covcurve -figure 2                # baseline BBV at 2/8/32P, all apps
+//	covcurve -figure 4                # BBV vs BBV+DDV at 8/32P, all apps
+//	covcurve -apps lu -procs 8,32 -detector both -size small
+//	covcurve -figure 4 -size full -interval 3000000   # paper scale
+//
+// Output is one block per curve: "phases cov thBBV thDDS" rows suitable
+// for plotting (the paper's y axis is logarithmic).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dsmphase"
+	"dsmphase/internal/plot"
+)
+
+func main() {
+	var (
+		figure   = flag.Int("figure", 0, "paper figure to regenerate: 2 or 4 (0 = custom)")
+		apps     = flag.String("apps", "", "comma-separated workloads (default: all four)")
+		procsArg = flag.String("procs", "", "comma-separated node counts (default per figure)")
+		sizeArg  = flag.String("size", "small", "input scale: test, small or full")
+		interval = flag.Uint64("interval", 0, "total sampling interval in instructions (split across nodes; 0 = 300k reduced-input default; paper: 3000000)")
+		detector = flag.String("detector", "", "bbv, ddv, dds or both (custom mode)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		compare  = flag.Bool("compare", false, "also print BBV vs BBV+DDV comparisons at 10/25 phases")
+		asciiPlt = flag.Bool("plot", false, "render ASCII charts (one panel per application, log y)")
+	)
+	flag.Parse()
+
+	size, err := dsmphase.ParseSize(*sizeArg)
+	if err != nil {
+		fatal(err)
+	}
+	fc := dsmphase.FigureConfig{
+		Apps:     splitList(*apps),
+		Size:     size,
+		Interval: *interval,
+		Seed:     *seed,
+	}
+	procs, err := parseProcs(*procsArg)
+	if err != nil {
+		fatal(err)
+	}
+
+	var results []dsmphase.CurveResult
+	var title string
+	switch {
+	case *figure == 2:
+		title = "Figure 2: baseline BBV CoV curves"
+		results, err = dsmphase.Figure2(fc, procs)
+	case *figure == 4:
+		title = "Figure 4: BBV vs BBV+DDV CoV curves"
+		results, err = dsmphase.Figure4(fc, procs)
+	case *figure == 0:
+		title = "Custom CoV curves"
+		results, err = runCustom(fc, procs, *detector)
+	default:
+		fatal(fmt.Errorf("unknown figure %d (the paper has figures 2 and 4)", *figure))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := dsmphase.WriteFigure(os.Stdout, title, results); err != nil {
+		fatal(err)
+	}
+	if *asciiPlt {
+		printPanels(results)
+	}
+	if *compare || *figure == 4 {
+		printComparisons(results)
+	}
+}
+
+// printPanels renders one ASCII chart per application, with one series
+// per (procs, detector) curve — the paper's panel layout.
+func printPanels(results []dsmphase.CurveResult) {
+	var apps []string
+	seen := map[string]bool{}
+	for _, c := range results {
+		if !seen[c.App] {
+			seen[c.App] = true
+			apps = append(apps, c.App)
+		}
+	}
+	for _, app := range apps {
+		chart := plot.New(60, 14).LogY().
+			Title(fmt.Sprintf("%s CoV curves", app)).
+			Labels("# of phases", "identifier CoV of CPI")
+		for _, c := range results {
+			if c.App != app {
+				continue
+			}
+			pts := make([]plot.Point, 0, len(c.Curve.Points))
+			for _, p := range c.Curve.Points {
+				pts = append(pts, plot.Point{X: p.Phases, Y: p.CoV})
+			}
+			chart.Add(fmt.Sprintf("%dP %s", c.Procs, c.Detector), pts)
+		}
+		fmt.Println(chart.Render())
+	}
+}
+
+// runCustom sweeps the requested detectors over each (app, procs) pair.
+func runCustom(fc dsmphase.FigureConfig, procs []int, detector string) ([]dsmphase.CurveResult, error) {
+	kinds, err := parseDetector(detector)
+	if err != nil {
+		return nil, err
+	}
+	if len(procs) == 0 {
+		procs = []int{8}
+	}
+	// Reuse Figure4's machinery through the public API: run each kind.
+	var out []dsmphase.CurveResult
+	apps := fc.Apps
+	if len(apps) == 0 {
+		apps = []string{"fmm", "lu", "equake", "art"}
+	}
+	for _, app := range apps {
+		for _, p := range procs {
+			iv := fc.Interval
+			if iv == 0 {
+				iv = 300_000
+			}
+			rc := dsmphase.RunConfig{
+				Workload:             app,
+				Size:                 fc.Size,
+				Procs:                p,
+				IntervalInstructions: iv / uint64(p),
+				Seed:                 fc.Seed,
+			}
+			for _, k := range kinds {
+				c, err := dsmphase.RunCurve(rc, k)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, c)
+			}
+		}
+	}
+	return out, nil
+}
+
+func parseDetector(s string) ([]dsmphase.DetectorKind, error) {
+	switch s {
+	case "", "both":
+		return []dsmphase.DetectorKind{dsmphase.DetectorBBV, dsmphase.DetectorBBVDDV}, nil
+	case "bbv":
+		return []dsmphase.DetectorKind{dsmphase.DetectorBBV}, nil
+	case "ddv":
+		return []dsmphase.DetectorKind{dsmphase.DetectorBBVDDV}, nil
+	case "dds":
+		return []dsmphase.DetectorKind{dsmphase.DetectorDDS}, nil
+	case "wss":
+		return []dsmphase.DetectorKind{dsmphase.DetectorWSS}, nil
+	case "all":
+		return []dsmphase.DetectorKind{
+			dsmphase.DetectorWSS, dsmphase.DetectorBBV,
+			dsmphase.DetectorDDS, dsmphase.DetectorBBVDDV,
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown detector %q (want bbv, ddv, dds, wss, both or all)", s)
+	}
+}
+
+// printComparisons prints the prose-style comparisons of the paper
+// ("at 25 phases, the DDV reduces CoV from X to Y") for every BBV /
+// BBV+DDV pair sharing an (app, procs) configuration.
+func printComparisons(results []dsmphase.CurveResult) {
+	type key struct {
+		app   string
+		procs int
+	}
+	bbv := map[key]dsmphase.CurveResult{}
+	ddv := map[key]dsmphase.CurveResult{}
+	var order []key
+	for _, c := range results {
+		k := key{c.App, c.Procs}
+		switch c.Detector {
+		case dsmphase.DetectorBBV:
+			bbv[k] = c
+			order = append(order, k)
+		case dsmphase.DetectorBBVDDV:
+			ddv[k] = c
+		}
+	}
+	fmt.Println("== BBV vs BBV+DDV comparisons ==")
+	fmt.Printf("%-10s %-6s %-14s %-14s %-14s %-14s\n",
+		"app", "procs", "CoV@10(BBV)", "CoV@10(DDV)", "CoV@25(BBV)", "CoV@25(DDV)")
+	for _, k := range order {
+		b, okB := bbv[k]
+		d, okD := ddv[k]
+		if !okB || !okD {
+			continue
+		}
+		b10, d10 := dsmphase.CompareAtPhases(b, d, 10)
+		b25, d25 := dsmphase.CompareAtPhases(b, d, 25)
+		fmt.Printf("%-10s %-6d %-14.4f %-14.4f %-14.4f %-14.4f\n", k.app, k.procs, b10, d10, b25, d25)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseProcs(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad processor count %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "covcurve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,155 @@
+// Command dsmsim runs one workload on the simulated DSM multiprocessor
+// and reports machine-level statistics.
+//
+//	dsmsim -config                 # print Table I (simulated architecture)
+//	dsmsim -list                   # print Table II (applications and inputs)
+//	dsmsim -app lu -procs 8 -size small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"dsmphase"
+	"dsmphase/internal/network"
+	"dsmphase/internal/trace"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "lu", "workload: lu, fmm, art or equake")
+		procsN   = flag.Int("procs", 8, "node count (power of two, ≤64)")
+		sizeArg  = flag.String("size", "small", "input scale: test, small or full")
+		interval = flag.Uint64("interval", 0, "per-processor sampling interval (0 = paper's 3M/procs)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		config   = flag.Bool("config", false, "print the simulated architecture (Table I) and exit")
+		list     = flag.Bool("list", false, "print the applications (Table II) and exit")
+		traceOut = flag.String("trace-out", "", "write interval signatures as JSONL to this file")
+		csvOut   = flag.String("csv-out", "", "write an interval summary CSV to this file")
+		topology = flag.String("topology", "hypercube", "interconnect: hypercube (Table I) or mesh (ablation)")
+	)
+	flag.Parse()
+
+	if *config {
+		printTableI(*procsN)
+		return
+	}
+	if *list {
+		printTableII()
+		return
+	}
+
+	size, err := dsmphase.ParseSize(*sizeArg)
+	if err != nil {
+		fatal(err)
+	}
+	rc := dsmphase.RunConfig{
+		Workload:             *app,
+		Size:                 size,
+		Procs:                *procsN,
+		IntervalInstructions: *interval,
+		Seed:                 *seed,
+	}
+	if *topology != "hypercube" {
+		kind := network.Kind(*topology)
+		rc.Tweak = func(c *dsmphase.MachineConfig) { c.Topology = kind }
+	}
+	m, sum, err := dsmphase.Simulate(rc)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("run: %s, %d processors, %s input, seed %d\n\n", *app, *procsN, size, *seed)
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "committed instructions\t%d\n", sum.Instructions)
+	fmt.Fprintf(w, "synchronization instrs\t%d\n", sum.SyncInstrs)
+	fmt.Fprintf(w, "cycles\t%.0f\n", sum.Cycles)
+	fmt.Fprintf(w, "aggregate IPC\t%.3f\n", sum.IPC)
+	fmt.Fprintf(w, "barriers\t%d\n", sum.Barriers)
+	fmt.Fprintf(w, "sampling intervals\t%d\n", sum.Intervals)
+	fmt.Fprintf(w, "branch prediction accuracy\t%.2f%%\n", 100*m.GshareAccuracy())
+
+	ps := m.Protocol().Stats()
+	fmt.Fprintf(w, "loads / stores\t%d / %d\n", ps.Loads, ps.Stores)
+	fmt.Fprintf(w, "L1 hits / L2 hits\t%d / %d\n", ps.L1Hits, ps.L2Hits)
+	fmt.Fprintf(w, "directory trips (remote)\t%d (%d)\n", ps.DirectoryTrips, ps.RemoteTrips)
+	fmt.Fprintf(w, "invalidations / forwards\t%d / %d\n", ps.Invalidations, ps.Forwards)
+	fmt.Fprintf(w, "writebacks\t%d\n", ps.Writebacks)
+
+	ns := m.Network().Stats()
+	fmt.Fprintf(w, "network messages / bytes\t%d / %d\n", ns.Messages, ns.Bytes)
+	if ns.Messages > 0 {
+		fmt.Fprintf(w, "avg message latency\t%.1f cycles\n", float64(ns.TotalLatency)/float64(ns.Messages))
+		fmt.Fprintf(w, "avg hops\t%.2f\n", float64(ns.TotalHops)/float64(ns.Messages))
+	}
+	fmt.Fprintf(w, "link queue cycles\t%d\n", ns.QueueCycles)
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+
+	// Per-interval locality summary.
+	var loc, rem uint64
+	for _, r := range m.Records() {
+		loc += r.LocalAccesses
+		rem += r.RemoteAccesses
+	}
+	if loc+rem > 0 {
+		fmt.Printf("\nmemory locality: %.1f%% local, %.1f%% remote\n",
+			100*float64(loc)/float64(loc+rem), 100*float64(rem)/float64(loc+rem))
+	}
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, m, trace.WriteJSONL); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote JSONL trace to %s\n", *traceOut)
+	}
+	if *csvOut != "" {
+		if err := writeTrace(*csvOut, m, trace.WriteCSV); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote CSV summary to %s\n", *csvOut)
+	}
+}
+
+// writeTrace dumps the machine's interval records with the given
+// serializer.
+func writeTrace(path string, m *dsmphase.Machine,
+	write func(w io.Writer, recs []dsmphase.IntervalSignature) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, m.Records()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func printTableI(procs int) {
+	fmt.Println("Table I: summary of simulated architecture")
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	for _, row := range dsmphase.DefaultMachineConfig(procs).TableI() {
+		fmt.Fprintf(w, "%s\t%s\n", row[0], row[1])
+	}
+	w.Flush()
+}
+
+func printTableII() {
+	fmt.Println("Table II: applications used in the experiments")
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Application\tInput Set (full)\tSynthetic model\n")
+	for _, wl := range dsmphase.Workloads() {
+		fmt.Fprintf(w, "%s\t%s\t%s\n", wl.Name(), wl.InputSet(dsmphase.SizeFull), wl.Description())
+	}
+	w.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dsmsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,159 @@
+// Command experiments runs the paper's full evaluation — Figure 2,
+// Figure 4 and the §III-B overhead estimate — and emits a markdown
+// scorecard in the style of EXPERIMENTS.md, including pass/fail checks
+// of the paper's qualitative claims.
+//
+//	experiments -size small > report.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"dsmphase"
+)
+
+func main() {
+	var (
+		sizeArg  = flag.String("size", "small", "input scale: test, small or full")
+		interval = flag.Uint64("interval", 0, "total sampling interval (0 = 300k reduced default)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	size, err := dsmphase.ParseSize(*sizeArg)
+	if err != nil {
+		fatal(err)
+	}
+	fc := dsmphase.FigureConfig{Size: size, Interval: *interval, Seed: *seed}
+	start := time.Now()
+
+	fmt.Printf("# Experiment report (size=%s, seed=%d)\n\n", size, *seed)
+
+	fig2, err := dsmphase.Figure2(fc, nil)
+	if err != nil {
+		fatal(err)
+	}
+	reportFigure2(fig2)
+
+	fig4, err := dsmphase.Figure4(fc, nil)
+	if err != nil {
+		fatal(err)
+	}
+	reportFigure4(fig4)
+
+	reportOverhead()
+
+	fmt.Printf("\n_Total runtime: %v._\n", time.Since(start).Round(time.Second))
+}
+
+// reportFigure2 prints the BBV degradation table and checks the paper's
+// claim that quality degrades with node count.
+func reportFigure2(results []dsmphase.CurveResult) {
+	fmt.Println("## Figure 2 — baseline BBV vs node count")
+	fmt.Println()
+	fmt.Println("| app | procs | CoV@10 | CoV@25 |")
+	fmt.Println("|---|---|---|---|")
+	type key struct{ app string }
+	covs := map[string][]float64{} // app -> CoV@25 by procs order
+	for _, c := range results {
+		c10, c25 := c.Curve.CoVAt(10), c.Curve.CoVAt(25)
+		fmt.Printf("| %s | %d | %s | %s |\n", c.App, c.Procs, fmtCov(c10), fmtCov(c25))
+		covs[c.App] = append(covs[c.App], c25)
+	}
+	fmt.Println()
+	pass := 0
+	for app, cs := range covs {
+		if len(cs) >= 2 && cs[len(cs)-1] > cs[0] {
+			fmt.Printf("- `%s`: degradation from smallest to largest system ✓\n", app)
+			pass++
+		} else {
+			fmt.Printf("- `%s`: no monotone degradation at the largest system ✗\n", app)
+		}
+	}
+	fmt.Printf("\n**Claim (quality degrades with node count): %d/%d applications.**\n\n",
+		pass, len(covs))
+}
+
+// reportFigure4 prints the BBV vs BBV+DDV comparison and checks the
+// across-the-board improvement claim.
+func reportFigure4(results []dsmphase.CurveResult) {
+	fmt.Println("## Figure 4 — BBV vs BBV+DDV")
+	fmt.Println()
+	fmt.Println("| app | procs | BBV@25 | DDV@25 | gain |")
+	fmt.Println("|---|---|---|---|---|")
+	type key struct {
+		app   string
+		procs int
+	}
+	bbv := map[key]dsmphase.CurveResult{}
+	ddv := map[key]dsmphase.CurveResult{}
+	var order []key
+	for _, c := range results {
+		k := key{c.App, c.Procs}
+		if c.Detector == dsmphase.DetectorBBV {
+			bbv[k] = c
+			order = append(order, k)
+		} else {
+			ddv[k] = c
+		}
+	}
+	wins, total := 0, 0
+	for _, k := range order {
+		b, okB := bbv[k]
+		d, okD := ddv[k]
+		if !okB || !okD {
+			continue
+		}
+		b25, d25 := dsmphase.CompareAtPhases(b, d, 25)
+		gain := "—"
+		switch {
+		case d25 > 0:
+			gain = fmt.Sprintf("%.1f×", b25/d25)
+		case b25 > 0:
+			gain = "∞"
+		}
+		fmt.Printf("| %s | %d | %s | %s | %s |\n", k.app, k.procs, fmtCov(b25), fmtCov(d25), gain)
+		total++
+		if d25 <= b25*1.0001 {
+			wins++
+		}
+	}
+	fmt.Printf("\n**Claim (BBV+DDV improves CoV across the board): %d/%d configurations.**\n\n",
+		wins, total)
+}
+
+// reportOverhead prints the §III-B estimate against the paper's quote.
+func reportOverhead() {
+	o := dsmphase.PaperOverheadConfig()
+	bw := o.BandwidthPerProcessor()
+	frac := o.FractionOfController()
+	fmt.Println("## §III-B — DDS exchange overhead")
+	fmt.Println()
+	fmt.Printf("- bandwidth per processor: %.1f kB/s (paper: \"about 160kB/s\") %s\n",
+		bw/1e3, check(bw > 150e3 && bw < 170e3))
+	fmt.Printf("- fraction of 1.5 GB/s controller: %.4f%% (paper: \"under 0.15%%\") %s\n",
+		100*frac, check(frac < 0.0015))
+}
+
+func fmtCov(v float64) string {
+	if math.IsInf(v, 1) {
+		return "—"
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+func check(ok bool) string {
+	if ok {
+		return "✓"
+	}
+	return "✗"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

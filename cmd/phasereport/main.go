@@ -1,0 +1,100 @@
+// Command phasereport prints a per-interval phase timeline for one
+// processor of a simulated run: interval index, assigned phase ID (under
+// both detectors), CPI, DDS and locality — the raw material behind the
+// CoV curves.
+//
+//	phasereport -app equake -procs 8 -proc 0 -thbbv 0.3 -thdds 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"dsmphase"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "lu", "workload: lu, fmm, art or equake")
+		procsN   = flag.Int("procs", 8, "node count")
+		procID   = flag.Int("proc", 0, "processor whose timeline to print")
+		sizeArg  = flag.String("size", "test", "input scale: test, small or full")
+		interval = flag.Uint64("interval", 0, "per-processor sampling interval (0 = 300k/procs)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		thBBV    = flag.Float64("thbbv", 0.3, "BBV Manhattan threshold")
+		thDDS    = flag.Float64("thdds", 0.2, "DDS difference threshold")
+		predict  = flag.Bool("predict", false, "also report phase-predictor accuracies")
+	)
+	flag.Parse()
+
+	size, err := dsmphase.ParseSize(*sizeArg)
+	if err != nil {
+		fatal(err)
+	}
+	iv := *interval
+	if iv == 0 {
+		iv = 300_000 / uint64(*procsN)
+	}
+	rc := dsmphase.RunConfig{
+		Workload:             *app,
+		Size:                 size,
+		Procs:                *procsN,
+		IntervalInstructions: iv,
+		Seed:                 *seed,
+	}
+	m, _, err := dsmphase.Simulate(rc)
+	if err != nil {
+		fatal(err)
+	}
+	byProc := m.RecordsByProc()
+	if *procID < 0 || *procID >= len(byProc) {
+		fatal(fmt.Errorf("processor %d out of range [0, %d)", *procID, len(byProc)))
+	}
+	recs := byProc[*procID]
+	bbvIDs := dsmphase.ClassifyRecorded(dsmphase.DetectorBBV, 32, *thBBV, 0, recs)
+	ddvIDs := dsmphase.ClassifyRecorded(dsmphase.DetectorBBVDDV, 32, *thBBV, *thDDS, recs)
+
+	fmt.Printf("phase timeline: %s, %d procs, processor %d, thBBV=%.3f thDDS=%.3f\n\n",
+		*app, *procsN, *procID, *thBBV, *thDDS)
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "interval\tBBV phase\tDDV phase\tCPI\tDDS\tremote%\t")
+	for i, r := range recs {
+		total := r.LocalAccesses + r.RemoteAccesses
+		remPct := 0.0
+		if total > 0 {
+			remPct = 100 * float64(r.RemoteAccesses) / float64(total)
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.3f\t%.3f\t%.1f\t\n",
+			i, bbvIDs[i], ddvIDs[i], r.CPI(), r.DDS, remPct)
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+
+	cpis := make([]float64, len(recs))
+	for i, r := range recs {
+		cpis[i] = r.CPI()
+	}
+	bCov, bN := dsmphase.IdentifierCoV(bbvIDs, cpis)
+	dCov, dN := dsmphase.IdentifierCoV(ddvIDs, cpis)
+	fmt.Printf("\nBBV:     %d phases, identifier CoV %.4f\n", bN, bCov)
+	fmt.Printf("BBV+DDV: %d phases, identifier CoV %.4f\n", dN, dCov)
+
+	if *predict {
+		fmt.Println("\nnext-phase prediction accuracy (BBV+DDV phase IDs):")
+		for _, p := range []dsmphase.Predictor{
+			dsmphase.NewLastPhasePredictor(),
+			dsmphase.NewMarkovPredictor(),
+			dsmphase.NewRunLengthPredictor(0),
+		} {
+			fmt.Printf("  %-12s %.2f%%\n", p.Name(), 100*dsmphase.PredictorAccuracy(p, ddvIDs))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "phasereport:", err)
+	os.Exit(1)
+}

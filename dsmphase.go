@@ -1,0 +1,266 @@
+// Package dsmphase reproduces İpek et al., "Dynamic Program Phase
+// Detection in Distributed Shared-Memory Multiprocessors" (IPDPS NSF NGS
+// Workshop, 2006): hardware phase detection for DSM multiprocessors.
+//
+// The package is the public facade over three layers:
+//
+//   - the phase detectors: the BBV (basic block vector) baseline of
+//     Sherwood et al. and the paper's BBV+DDV extension, which augments
+//     the code signature with a data distribution scalar (DDS) computed
+//     from a frequency matrix, a distance matrix and a contention vector;
+//   - a simulated DSM multiprocessor (out-of-order cores, two-level
+//     caches, directory MSI coherence, hypercube wormhole network,
+//     interleaved SDRAM — the paper's Table I system);
+//   - four synthetic workloads standing in for SPLASH-2 LU and FMM and
+//     SPEC-OMP Art and Equake (Table II), plus the experiment harness
+//     that regenerates the paper's CoV curves (Figures 2 and 4).
+//
+// Quick start:
+//
+//	rc := dsmphase.RunConfig{Workload: "lu", Size: dsmphase.SizeTest,
+//		Procs: 8, IntervalInstructions: 30_000, Seed: 1}
+//	bbv, err := dsmphase.RunCurve(rc, dsmphase.DetectorBBV)
+//	ddv, err := dsmphase.RunCurve(rc, dsmphase.DetectorBBVDDV)
+//	// compare bbv.Curve and ddv.Curve — the paper's Figure 4.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package dsmphase
+
+import (
+	"io"
+
+	"dsmphase/internal/core"
+	"dsmphase/internal/harness"
+	"dsmphase/internal/machine"
+	"dsmphase/internal/predictor"
+	"dsmphase/internal/stats"
+	"dsmphase/internal/tuning"
+	"dsmphase/internal/workloads"
+)
+
+// ---- Phase detection (the paper's contribution) ----
+
+// DetectorKind selects a phase detector.
+type DetectorKind = core.DetectorKind
+
+// Detector kinds: the BBV uniprocessor baseline, the paper's BBV+DDV,
+// and the DDS-only ablation.
+const (
+	DetectorBBV    = core.DetectorBBV
+	DetectorBBVDDV = core.DetectorBBVDDV
+	DetectorDDS    = core.DetectorDDS
+	DetectorWSS    = core.DetectorWSS
+)
+
+// WSSignature is an instruction working-set signature (the Dhodapkar-
+// Smith baseline discussed in the paper's related work).
+type WSSignature = core.WSSignature
+
+// Accumulator is the BBV accumulator (hashed branch-PC counters).
+type Accumulator = core.Accumulator
+
+// FootprintTable classifies interval signatures with LRU replacement.
+type FootprintTable = core.FootprintTable
+
+// Detector is the per-processor online detector (accumulator + table).
+type Detector = core.Detector
+
+// IntervalSignature is one recorded sampling interval (BBV, DDS, CPI).
+type IntervalSignature = core.IntervalSignature
+
+// DistanceMatrix holds the pre-programmed D constants of the DDV.
+type DistanceMatrix = core.DistanceMatrix
+
+// FrequencyMatrix is the per-processor F counter matrix of the DDV.
+type FrequencyMatrix = core.FrequencyMatrix
+
+// DDSOptions selects ablation variants of the DDS computation.
+type DDSOptions = core.DDSOptions
+
+// OverheadEstimate models the DDS exchange bandwidth (paper §III-B).
+type OverheadEstimate = core.OverheadEstimate
+
+// NewAccumulator returns a BBV accumulator with the given counter count.
+func NewAccumulator(size int) *Accumulator { return core.NewAccumulator(size) }
+
+// NewDetector builds an online phase detector.
+func NewDetector(kind DetectorKind, accSize, tableSize int, thBBV, thDDS float64) *Detector {
+	return core.NewDetector(kind, accSize, tableSize, thBBV, thDDS)
+}
+
+// Manhattan returns the L1 distance between two signature vectors.
+func Manhattan(a, b []float64) float64 { return core.Manhattan(a, b) }
+
+// ComputeDDS evaluates the paper's data distribution scalar.
+func ComputeDDS(i int, freq, contention []uint64, dist *DistanceMatrix, opt DDSOptions) (raw, normalized float64) {
+	return core.ComputeDDS(i, freq, contention, dist, opt)
+}
+
+// ClassifyRecorded replays footprint-table classification over recorded
+// signatures at the given thresholds.
+func ClassifyRecorded(kind DetectorKind, tableSize int, thBBV, thDDS float64, sigs []IntervalSignature) []int {
+	return core.ClassifyRecorded(kind, tableSize, thBBV, thDDS, sigs)
+}
+
+// PaperOverheadConfig returns the §III-B overhead parameters.
+func PaperOverheadConfig() OverheadEstimate { return core.PaperOverheadConfig() }
+
+// ---- Statistics and CoV curves ----
+
+// CurvePoint is one operating point (phases, CoV) of a detector.
+type CurvePoint = stats.CurvePoint
+
+// Curve is a CoV curve (the paper's proposed evaluation tool).
+type Curve = stats.Curve
+
+// IdentifierCoV computes the interval-weighted per-phase CoV of CPI.
+func IdentifierCoV(phases []int, cpis []float64) (cov float64, numPhases int) {
+	return stats.IdentifierCoV(phases, cpis)
+}
+
+// LowerEnvelope reduces a sweep's point cloud to the presentation curve.
+func LowerEnvelope(pts []CurvePoint) Curve { return stats.LowerEnvelope(pts) }
+
+// ---- Simulation and experiments ----
+
+// MachineConfig describes the simulated DSM system (Table I defaults
+// from DefaultMachineConfig).
+type MachineConfig = machine.Config
+
+// Machine is one assembled DSM system bound to workload threads.
+type Machine = machine.Machine
+
+// Summary reports whole-run machine statistics.
+type Summary = machine.Summary
+
+// DefaultMachineConfig returns the Table I system for a node count.
+func DefaultMachineConfig(procs int) MachineConfig { return machine.DefaultConfig(procs) }
+
+// RunConfig describes one simulation (workload, size, node count).
+type RunConfig = harness.RunConfig
+
+// SweepConfig describes a threshold sweep.
+type SweepConfig = harness.SweepConfig
+
+// CurveResult is one labelled CoV curve.
+type CurveResult = harness.CurveResult
+
+// FigureConfig scales a figure reproduction.
+type FigureConfig = harness.FigureConfig
+
+// Simulate runs one workload on the simulated machine.
+func Simulate(rc RunConfig) (*Machine, Summary, error) { return harness.Simulate(rc) }
+
+// RunCurve simulates one configuration and sweeps one detector over it.
+func RunCurve(rc RunConfig, kind DetectorKind) (CurveResult, error) {
+	return harness.RunCurve(rc, kind)
+}
+
+// SweepMachine sweeps a detector over an already-simulated machine, so
+// several detectors can be compared on the identical execution.
+func SweepMachine(m *Machine, rc RunConfig, kind DetectorKind, sum Summary) CurveResult {
+	return harness.SweepMachine(m, rc, kind, sum)
+}
+
+// Sweep classifies recorded signatures across threshold settings.
+func Sweep(recs [][]IntervalSignature, sc SweepConfig) []CurvePoint {
+	return harness.Sweep(recs, sc)
+}
+
+// Figure2 regenerates the baseline BBV degradation curves (paper Fig. 2).
+func Figure2(fc FigureConfig, procs []int) ([]CurveResult, error) {
+	return harness.Figure2(fc, procs)
+}
+
+// Figure4 regenerates the BBV versus BBV+DDV curves (paper Fig. 4).
+func Figure4(fc FigureConfig, procs []int) ([]CurveResult, error) {
+	return harness.Figure4(fc, procs)
+}
+
+// WriteFigure prints a figure's curves in tabular form.
+func WriteFigure(w io.Writer, title string, results []CurveResult) error {
+	return harness.WriteFigure(w, title, results)
+}
+
+// CompareAtPhases reports each detector's CoV within a phase budget.
+func CompareAtPhases(bbv, ddv CurveResult, maxPhases float64) (bbvCoV, ddvCoV float64) {
+	return harness.CompareAtPhases(bbv, ddv, maxPhases)
+}
+
+// CompareAtCoV reports each detector's phase count at a CoV target.
+func CompareAtCoV(bbv, ddv CurveResult, targetCoV float64) (bbvPhases, ddvPhases float64) {
+	return harness.CompareAtCoV(bbv, ddv, targetCoV)
+}
+
+// ---- Workloads ----
+
+// Size selects a workload input scale.
+type Size = workloads.Size
+
+// Input scales: seconds-scale tests, laptop-scale defaults, paper scale.
+const (
+	SizeTest  = workloads.SizeTest
+	SizeSmall = workloads.SizeSmall
+	SizeFull  = workloads.SizeFull
+)
+
+// Workload is one Table II application.
+type Workload = workloads.Workload
+
+// Workloads returns the registered applications in name order.
+func Workloads() []Workload { return workloads.All() }
+
+// WorkloadByName looks an application up by its Table II name.
+func WorkloadByName(name string) (Workload, error) { return workloads.ByName(name) }
+
+// ParseSize converts "test", "small" or "full" to a Size.
+func ParseSize(name string) (Size, error) { return workloads.ParseSize(name) }
+
+// ---- Phase prediction and tuning (the paper's pipeline context) ----
+
+// Predictor forecasts the next interval's phase.
+type Predictor = predictor.Predictor
+
+// NewLastPhasePredictor predicts the current phase persists.
+func NewLastPhasePredictor() Predictor { return predictor.NewLastPhase() }
+
+// NewMarkovPredictor predicts via first-order transition counts.
+func NewMarkovPredictor() Predictor { return predictor.NewMarkov() }
+
+// NewRunLengthPredictor predicts via (phase, run length) histories.
+func NewRunLengthPredictor(maxRun int) Predictor { return predictor.NewRunLength(maxRun) }
+
+// PredictorAccuracy scores a predictor over a phase sequence.
+func PredictorAccuracy(p Predictor, phases []int) float64 {
+	return predictor.Accuracy(p, phases)
+}
+
+// TuningController runs per-phase trial-and-error reconfiguration.
+type TuningController = tuning.Controller
+
+// TuningOutcome summarizes an adaptive-tuning replay.
+type TuningOutcome = tuning.Outcome
+
+// NewTuningController returns a controller over numConfigs hardware
+// configurations, measuring each for trialsPerConfig intervals.
+func NewTuningController(numConfigs, trialsPerConfig int) *TuningController {
+	return tuning.NewController(numConfigs, trialsPerConfig)
+}
+
+// ReplayTuning simulates the adaptive loop over a phase sequence.
+func ReplayTuning(c *TuningController, phases []int, scores [][]float64) TuningOutcome {
+	return tuning.Replay(c, phases, scores)
+}
+
+// AdaptiveLoop couples a phase predictor with a tuning controller — the
+// complete detector → predictor → reconfiguration pipeline of §II.
+type AdaptiveLoop = tuning.AdaptiveLoop
+
+// AdaptiveOutcome extends TuningOutcome with prediction accounting.
+type AdaptiveOutcome = tuning.AdaptiveOutcome
+
+// NewAdaptiveLoop builds the predictive tuning loop.
+func NewAdaptiveLoop(c *TuningController, p Predictor) *AdaptiveLoop {
+	return tuning.NewAdaptiveLoop(c, p)
+}

@@ -1,0 +1,132 @@
+// adaptive_tuning: close the paper's loop — detector → reconfiguration —
+// and show that better phase detection buys better tuning.
+//
+// The scenario: hardware with three remote-access aggressiveness
+// settings (think prefetch depth / weak-ordering window). Which setting
+// wins depends on the interval's data distribution: conservative for
+// local-heavy intervals, aggressive for remote-heavy ones, balanced in
+// between. Each node's controller trials settings per detected phase and
+// locks in the winner, so the money question is whether the detector's
+// phases separate local-heavy from remote-heavy execution. BBV phases
+// often do not (same code, different data) — BBV+DDV phases do.
+//
+// Thresholds are chosen from the CoV curve, exactly as the paper
+// prescribes: sweep, then pick the operating point with the lowest CoV
+// within the phase (tuning) budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dsmphase"
+)
+
+const (
+	procs       = 8
+	phaseBudget = 8.0 // max phases a controller is willing to tune
+)
+
+func main() {
+	rc := dsmphase.RunConfig{
+		Workload:             "lu",
+		Size:                 dsmphase.SizeSmall,
+		Procs:                procs,
+		IntervalInstructions: 100_000 / procs,
+		Seed:                 1,
+	}
+	m, sum, err := dsmphase.Simulate(rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byProc := m.RecordsByProc()
+
+	// Operating points from the CoV curves (the paper's tool).
+	bbvCurve := dsmphase.SweepMachine(m, rc, dsmphase.DetectorBBV, sum)
+	ddvCurve := dsmphase.SweepMachine(m, rc, dsmphase.DetectorBBVDDV, sum)
+	bbvTh, _ := pickThresholds(bbvCurve)
+	ddvTh, ddvThDDS := pickThresholds(ddvCurve)
+
+	fmt.Println("phase-adaptive tuning replay (LU, 8 nodes, 3 hardware settings,")
+	fmt.Printf("one controller per node, phase budget %.0f; lower score is better):\n\n", phaseBudget)
+	run("single phase", byProc, dsmphase.DetectorBBV, 2.0, 0)
+	run("BBV phases", byProc, dsmphase.DetectorBBV, bbvTh, 0)
+	run("BBV+DDV phases", byProc, dsmphase.DetectorBBVDDV, ddvTh, ddvThDDS)
+	fmt.Println()
+	fmt.Println("BBV+DDV phases are homogeneous in data distribution, so each controller")
+	fmt.Println("locks in the right setting — and ends nearer the oracle even though the")
+	fmt.Println("extra phases cost more trial intervals. Coarser phases mix distribution")
+	fmt.Println("levels and settle for a compromise setting.")
+}
+
+// pickThresholds returns the thresholds of the lowest-CoV operating
+// point within the phase budget.
+func pickThresholds(c dsmphase.CurveResult) (thBBV, thDDS float64) {
+	best := dsmphase.CurvePoint{CoV: -1}
+	for _, p := range c.Curve.Points {
+		if p.Phases <= phaseBudget && (best.CoV < 0 || p.CoV < best.CoV) {
+			best = p
+		}
+	}
+	if best.CoV < 0 {
+		return 2.0, 0 // degenerate curve: everything in one phase
+	}
+	return best.Threshold, best.ThresholdDDS
+}
+
+// buildScores models three hardware settings matched to data-
+// distribution *levels* (think directory speculation depth or adaptive
+// routing keyed to how far and how contended an interval's data is).
+// An interval's cost rises with the mismatch between its normalized DDS
+// and the setting's target level. This is exactly the variable the BBV
+// cannot see: two intervals with identical code but different DDS need
+// different settings, and only a DDS-aware detector gives the controller
+// phases homogeneous enough to pick correctly.
+func buildScores(recs []dsmphase.IntervalSignature) [][]float64 {
+	lo, hi := recs[0].DDS, recs[0].DDS
+	for _, r := range recs {
+		if r.DDS < lo {
+			lo = r.DDS
+		}
+		if r.DDS > hi {
+			hi = r.DDS
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	targets := []float64{1.0 / 6, 0.5, 5.0 / 6} // terciles of the DDS range
+	scores := make([][]float64, len(targets))
+	for i := range scores {
+		scores[i] = make([]float64, len(recs))
+	}
+	for i, r := range recs {
+		z := (r.DDS - lo) / span
+		for c, t := range targets {
+			mismatch := z - t
+			if mismatch < 0 {
+				mismatch = -mismatch
+			}
+			scores[c][i] = r.CPI() * (1 + 0.4*mismatch)
+		}
+	}
+	return scores
+}
+
+// run replays tuning with one controller per node and prints aggregate
+// results.
+func run(name string, byProc [][]dsmphase.IntervalSignature, kind dsmphase.DetectorKind, thBBV, thDDS float64) {
+	var total dsmphase.TuningOutcome
+	for _, recs := range byProc {
+		ids := dsmphase.ClassifyRecorded(kind, 32, thBBV, thDDS, recs)
+		out := dsmphase.ReplayTuning(dsmphase.NewTuningController(3, 1), ids, buildScores(recs))
+		total.Intervals += out.Intervals
+		total.TuningIntervals += out.TuningIntervals
+		total.TotalScore += out.TotalScore
+		total.OracleScore += out.OracleScore
+	}
+	gap := 100 * (total.TotalScore - total.OracleScore) / total.OracleScore
+	fmt.Printf("%-18s intervals=%-5d tuning=%-4d (%4.1f%%)  score=%9.2f  vs oracle %+.2f%%\n",
+		name, total.Intervals, total.TuningIntervals, 100*total.Overhead(), total.TotalScore, gap)
+}

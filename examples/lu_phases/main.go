@@ -1,0 +1,68 @@
+// lu_phases: dissect why the BBV baseline breaks on a DSM machine.
+//
+// LU's trailing-submatrix update runs the same code every step, but the
+// blocks it reads live in a different row/column of the processor grid
+// each step — so intervals with near-identical basic-block vectors have
+// very different memory costs. This example prints processor 0's
+// interval timeline under both detectors, then scores next-phase
+// predictors over the resulting phase sequences (the paper's suggested
+// future work).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dsmphase"
+)
+
+func main() {
+	const procs = 8
+	rc := dsmphase.RunConfig{
+		Workload:             "lu",
+		Size:                 dsmphase.SizeTest,
+		Procs:                procs,
+		IntervalInstructions: 40_000 / procs,
+		Seed:                 1,
+	}
+	m, _, err := dsmphase.Simulate(rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs := m.RecordsByProc()[0]
+	const thBBV, thDDS = 0.3, 0.15
+	bbvIDs := dsmphase.ClassifyRecorded(dsmphase.DetectorBBV, 32, thBBV, 0, recs)
+	ddvIDs := dsmphase.ClassifyRecorded(dsmphase.DetectorBBVDDV, 32, thBBV, thDDS, recs)
+
+	fmt.Println("processor 0 interval timeline (LU, 8 nodes):")
+	fmt.Printf("%-9s %-10s %-10s %-8s %-8s %-8s\n", "interval", "BBV-phase", "DDV-phase", "CPI", "DDS", "remote%")
+	for i, r := range recs {
+		tot := r.LocalAccesses + r.RemoteAccesses
+		rem := 0.0
+		if tot > 0 {
+			rem = 100 * float64(r.RemoteAccesses) / float64(tot)
+		}
+		fmt.Printf("%-9d %-10d %-10d %-8.3f %-8.3f %-8.1f\n", i, bbvIDs[i], ddvIDs[i], r.CPI(), r.DDS, rem)
+	}
+
+	cpis := make([]float64, len(recs))
+	for i, r := range recs {
+		cpis[i] = r.CPI()
+	}
+	bCov, bN := dsmphase.IdentifierCoV(bbvIDs, cpis)
+	dCov, dN := dsmphase.IdentifierCoV(ddvIDs, cpis)
+	fmt.Printf("\nBBV:     %2d phases, identifier CoV %.4f\n", bN, bCov)
+	fmt.Printf("BBV+DDV: %2d phases, identifier CoV %.4f\n", dN, dCov)
+	fmt.Println("\nintervals sharing a BBV phase but split by the DDV differ in DDS —")
+	fmt.Println("the data-distribution effect the BBV is structurally blind to.")
+
+	fmt.Println("\nnext-phase prediction over the BBV+DDV phase sequence:")
+	for _, mk := range []func() dsmphase.Predictor{
+		dsmphase.NewLastPhasePredictor,
+		dsmphase.NewMarkovPredictor,
+		func() dsmphase.Predictor { return dsmphase.NewRunLengthPredictor(0) },
+	} {
+		p := mk()
+		fmt.Printf("  %-12s %5.1f%%\n", p.Name(), 100*dsmphase.PredictorAccuracy(p, ddvIDs))
+	}
+}

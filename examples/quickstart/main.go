@@ -1,0 +1,45 @@
+// Quickstart: simulate one parallel application on the DSM machine,
+// sweep both phase detectors over the recorded intervals, and print the
+// paper's headline comparison — the CoV each detector achieves within a
+// fixed phase (tuning) budget.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dsmphase"
+)
+
+func main() {
+	rc := dsmphase.RunConfig{
+		Workload:             "lu",
+		Size:                 dsmphase.SizeTest,
+		Procs:                8,
+		IntervalInstructions: 300_000 / 8,
+		Seed:                 1,
+	}
+
+	fmt.Println("simulating SPLASH-2 LU on an 8-node DSM multiprocessor...")
+	m, sum, err := dsmphase.Simulate(rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d instructions, %.0f cycles, IPC %.2f, %d sampling intervals\n\n",
+		sum.Instructions, sum.Cycles, sum.IPC, sum.Intervals)
+
+	// Sweep both detectors over the identical execution, as in the paper.
+	bbv := dsmphase.SweepMachine(m, rc, dsmphase.DetectorBBV, sum)
+	ddv := dsmphase.SweepMachine(m, rc, dsmphase.DetectorBBVDDV, sum)
+
+	if err := dsmphase.WriteFigure(os.Stdout, "CoV curves (plot CoV vs phases, log y)",
+		[]dsmphase.CurveResult{bbv, ddv}); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, budget := range []float64{5, 10, 25} {
+		b, d := dsmphase.CompareAtPhases(bbv, ddv, budget)
+		fmt.Printf("within %2.0f phases:  BBV CoV %.4f   BBV+DDV CoV %.4f\n", budget, b, d)
+	}
+}

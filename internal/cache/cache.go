@@ -1,0 +1,242 @@
+// Package cache implements the set-associative caches of Table I: a
+// 16 kB direct-mapped L1 (1-cycle) and a 2 MB 8-way L2 (32 B lines,
+// 12-cycle), with true-LRU replacement and MSI line states for the
+// directory protocol.
+package cache
+
+import "math/bits"
+
+// State is a cache line's coherence state.
+type State uint8
+
+const (
+	// Invalid: line not present (or invalidated).
+	Invalid State = iota
+	// Shared: clean, potentially cached elsewhere.
+	Shared
+	// Modified: dirty, exclusively owned.
+	Modified
+)
+
+// String returns the MSI letter for the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// Config describes a cache geometry.
+type Config struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the associativity (1 = direct-mapped).
+	Ways int
+	// LineBytes is the line size.
+	LineBytes int
+	// HitCycles is the access latency on a hit.
+	HitCycles uint64
+}
+
+// L1Default returns the Table I L1: 16 kB direct-mapped, 32 B lines,
+// 1 cycle. (The paper gives the line size only for L2; we use 32 B
+// throughout for a uniform coherence granularity.)
+func L1Default() Config {
+	return Config{SizeBytes: 16 << 10, Ways: 1, LineBytes: 32, HitCycles: 1}
+}
+
+// L2Default returns the Table I L2: 2 MB, 8-way, 32 B lines, 12 cycles.
+func L2Default() Config {
+	return Config{SizeBytes: 2 << 20, Ways: 8, LineBytes: 32, HitCycles: 12}
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	DirtyEvic uint64
+}
+
+// Cache is one set-associative cache. Lines are identified by their line
+// address (byte address >> lineShift).
+type Cache struct {
+	cfg       Config
+	sets      int
+	lineShift uint
+	setMask   uint64
+	tags      []uint64 // sets*ways
+	state     []State
+	lruTick   []uint64
+	clock     uint64
+	st        Stats
+}
+
+// New builds a cache from a geometry. Size, ways and line size must be
+// positive powers-of-two-compatible values (sets = size/line/ways must
+// come out a positive power of two).
+func New(cfg Config) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 || cfg.LineBytes <= 0 {
+		panic("cache: geometry values must be positive")
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	if lines*cfg.LineBytes != cfg.SizeBytes {
+		panic("cache: size must be a multiple of line size")
+	}
+	sets := lines / cfg.Ways
+	if sets <= 0 || sets*cfg.Ways != lines {
+		panic("cache: lines must divide evenly into ways")
+	}
+	if sets&(sets-1) != 0 {
+		panic("cache: set count must be a power of two")
+	}
+	if cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic("cache: line size must be a power of two")
+	}
+	n := sets * cfg.Ways
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:   uint64(sets - 1),
+		tags:      make([]uint64, n),
+		state:     make([]State, n),
+		lruTick:   make([]uint64, n),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// LineAddr converts a byte address to a line address.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift }
+
+func (c *Cache) setOf(line uint64) int { return int(line & c.setMask) }
+
+func (c *Cache) find(line uint64) int {
+	set := c.setOf(line)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.state[base+w] != Invalid && c.tags[base+w] == line {
+			return base + w
+		}
+	}
+	return -1
+}
+
+// Lookup probes the cache for the line containing addr. On a hit it
+// refreshes LRU and returns the line state; on a miss it returns
+// (false, Invalid). Lookup updates hit/miss statistics.
+func (c *Cache) Lookup(addr uint64) (hit bool, st State) {
+	c.clock++
+	idx := c.find(c.LineAddr(addr))
+	if idx < 0 {
+		c.st.Misses++
+		return false, Invalid
+	}
+	c.st.Hits++
+	c.lruTick[idx] = c.clock
+	return true, c.state[idx]
+}
+
+// Probe is like Lookup but does not touch LRU or statistics (used by
+// external coherence agents).
+func (c *Cache) Probe(addr uint64) (hit bool, st State) {
+	idx := c.find(c.LineAddr(addr))
+	if idx < 0 {
+		return false, Invalid
+	}
+	return true, c.state[idx]
+}
+
+// Victim describes a line displaced by Insert.
+type Victim struct {
+	LineAddr uint64
+	State    State
+	Valid    bool
+}
+
+// Insert fills the line containing addr with the given state, evicting
+// the LRU way if the set is full. If the line is already present its
+// state is overwritten in place (no eviction). The displaced victim, if
+// any, is returned so the caller can write back dirty data and send the
+// directory a replacement hint.
+func (c *Cache) Insert(addr uint64, st State) Victim {
+	c.clock++
+	line := c.LineAddr(addr)
+	if idx := c.find(line); idx >= 0 {
+		c.state[idx] = st
+		c.lruTick[idx] = c.clock
+		return Victim{}
+	}
+	set := c.setOf(line)
+	base := set * c.cfg.Ways
+	victim := base
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.state[base+w] == Invalid {
+			victim = base + w
+			break
+		}
+		if c.lruTick[base+w] < c.lruTick[victim] {
+			victim = base + w
+		}
+	}
+	var out Victim
+	if c.state[victim] != Invalid {
+		out = Victim{LineAddr: c.tags[victim], State: c.state[victim], Valid: true}
+		c.st.Evictions++
+		if c.state[victim] == Modified {
+			c.st.DirtyEvic++
+		}
+	}
+	c.tags[victim] = line
+	c.state[victim] = st
+	c.lruTick[victim] = c.clock
+	return out
+}
+
+// SetState changes the state of a resident line; it reports whether the
+// line was present.
+func (c *Cache) SetState(addr uint64, st State) bool {
+	idx := c.find(c.LineAddr(addr))
+	if idx < 0 {
+		return false
+	}
+	c.state[idx] = st
+	return true
+}
+
+// Invalidate removes the line containing addr, returning its prior state
+// and whether it was present.
+func (c *Cache) Invalidate(addr uint64) (prior State, present bool) {
+	idx := c.find(c.LineAddr(addr))
+	if idx < 0 {
+		return Invalid, false
+	}
+	prior = c.state[idx]
+	c.state[idx] = Invalid
+	return prior, true
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.st }
+
+// ResetStats zeroes statistics; contents are preserved.
+func (c *Cache) ResetStats() { c.st = Stats{} }
+
+// Flush invalidates every line (contents and stats clock preserved
+// semantics: statistics are not reset).
+func (c *Cache) Flush() {
+	for i := range c.state {
+		c.state[i] = Invalid
+	}
+}

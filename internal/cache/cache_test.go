@@ -1,0 +1,211 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache {
+	// 4 sets × 2 ways × 32B lines = 256 bytes.
+	return New(Config{SizeBytes: 256, Ways: 2, LineBytes: 32, HitCycles: 1})
+}
+
+func TestStateString(t *testing.T) {
+	cases := map[State]string{Invalid: "I", Shared: "S", Modified: "M", State(9): "?"}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestDefaultGeometries(t *testing.T) {
+	l1 := New(L1Default())
+	if l1.Sets() != 512 {
+		t.Errorf("L1 sets = %d, want 512 (16kB direct-mapped, 32B lines)", l1.Sets())
+	}
+	l2 := New(L2Default())
+	if l2.Sets() != 8192 {
+		t.Errorf("L2 sets = %d, want 8192 (2MB 8-way, 32B lines)", l2.Sets())
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := small()
+	if hit, _ := c.Lookup(0x100); hit {
+		t.Fatal("cold cache must miss")
+	}
+	c.Insert(0x100, Shared)
+	hit, st := c.Lookup(0x100)
+	if !hit || st != Shared {
+		t.Fatalf("Lookup after Insert = (%v, %v)", hit, st)
+	}
+	// Same line, different byte offset: still a hit.
+	if hit, _ := c.Lookup(0x11F); !hit {
+		t.Error("access within the same 32B line must hit")
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small() // 2 ways
+	// Three lines mapping to set 0: line addresses 0, 4, 8 (set = line & 3).
+	a, b, d := uint64(0*32), uint64(4*32), uint64(8*32)
+	c.Insert(a, Shared)
+	c.Insert(b, Shared)
+	c.Lookup(a) // touch a; b becomes LRU
+	v := c.Insert(d, Shared)
+	if !v.Valid || v.LineAddr != c.LineAddr(b) {
+		t.Errorf("victim = %+v, want line %d", v, c.LineAddr(b))
+	}
+	if hit, _ := c.Probe(b); hit {
+		t.Error("b should have been evicted")
+	}
+	if hit, _ := c.Probe(a); !hit {
+		t.Error("a should have survived")
+	}
+}
+
+func TestDirtyEvictionReported(t *testing.T) {
+	c := small()
+	a, b, d := uint64(0*32), uint64(4*32), uint64(8*32)
+	c.Insert(a, Modified)
+	c.Insert(b, Shared)
+	c.Lookup(b) // a becomes LRU
+	v := c.Insert(d, Shared)
+	if !v.Valid || v.State != Modified {
+		t.Errorf("victim = %+v, want modified line", v)
+	}
+	if c.Stats().DirtyEvic != 1 {
+		t.Errorf("DirtyEvic = %d, want 1", c.Stats().DirtyEvic)
+	}
+}
+
+func TestInsertExistingUpdatesInPlace(t *testing.T) {
+	c := small()
+	c.Insert(0x40, Shared)
+	v := c.Insert(0x40, Modified)
+	if v.Valid {
+		t.Error("re-insert must not evict")
+	}
+	_, st := c.Probe(0x40)
+	if st != Modified {
+		t.Errorf("state = %v, want M", st)
+	}
+	if c.Stats().Evictions != 0 {
+		t.Error("no evictions expected")
+	}
+}
+
+func TestSetStateAndInvalidate(t *testing.T) {
+	c := small()
+	if c.SetState(0x40, Modified) {
+		t.Error("SetState on absent line must return false")
+	}
+	c.Insert(0x40, Shared)
+	if !c.SetState(0x40, Modified) {
+		t.Error("SetState on present line must return true")
+	}
+	prior, present := c.Invalidate(0x40)
+	if !present || prior != Modified {
+		t.Errorf("Invalidate = (%v, %v)", prior, present)
+	}
+	if _, present := c.Invalidate(0x40); present {
+		t.Error("double invalidate must report absent")
+	}
+	if hit, _ := c.Probe(0x40); hit {
+		t.Error("line must be gone")
+	}
+}
+
+func TestProbeDoesNotPerturb(t *testing.T) {
+	c := small()
+	c.Insert(0*32, Shared)
+	c.Insert(4*32, Shared)
+	// Probing a repeatedly must NOT protect it from eviction.
+	for i := 0; i < 10; i++ {
+		c.Probe(0 * 32)
+	}
+	c.Lookup(4 * 32) // a (inserted first) is LRU despite probes
+	v := c.Insert(8*32, Shared)
+	if !v.Valid || v.LineAddr != 0 {
+		t.Errorf("victim = %+v, want line 0", v)
+	}
+	s := c.Stats()
+	if s.Hits != 1 {
+		t.Errorf("probes must not count as hits: %+v", s)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := small()
+	c.Insert(0x40, Modified)
+	c.Flush()
+	if hit, _ := c.Probe(0x40); hit {
+		t.Error("flush must invalidate everything")
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	c := New(Config{SizeBytes: 128, Ways: 1, LineBytes: 32, HitCycles: 1}) // 4 sets
+	c.Insert(0*32, Shared)
+	v := c.Insert(4*32, Shared) // same set in a 4-set direct-mapped cache
+	if !v.Valid || v.LineAddr != 0 {
+		t.Errorf("conflict miss should evict line 0, got %+v", v)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, Ways: 1, LineBytes: 32},
+		{SizeBytes: 256, Ways: 0, LineBytes: 32},
+		{SizeBytes: 256, Ways: 1, LineBytes: 0},
+		{SizeBytes: 100, Ways: 1, LineBytes: 32}, // not a multiple
+		{SizeBytes: 96, Ways: 1, LineBytes: 32},  // 3 sets: not pow2
+		{SizeBytes: 256, Ways: 1, LineBytes: 24}, // line not pow2
+		{SizeBytes: 256, Ways: 3, LineBytes: 32}, // ways don't divide
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) should panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+// Property: after Insert(addr), Probe(addr) hits with the inserted state,
+// and total resident lines never exceed capacity.
+func TestInsertProbeProperty(t *testing.T) {
+	c := small()
+	resident := map[uint64]State{}
+	f := func(lineR uint8, mod bool) bool {
+		addr := uint64(lineR%16) * 32
+		st := Shared
+		if mod {
+			st = Modified
+		}
+		v := c.Insert(addr, st)
+		if v.Valid {
+			if resident[v.LineAddr] == Invalid {
+				return false // evicted something not resident
+			}
+			delete(resident, v.LineAddr)
+		}
+		resident[c.LineAddr(addr)] = st
+		if len(resident) > 8 { // 4 sets × 2 ways
+			return false
+		}
+		hit, got := c.Probe(addr)
+		return hit && got == st
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

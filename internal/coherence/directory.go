@@ -1,0 +1,115 @@
+// Package coherence implements the DSM's directory-based MSI cache
+// coherence: each memory line has a home node whose directory tracks the
+// line's global state (uncached / shared / modified), its sharer set and
+// its owner. The Protocol type executes full load/store transactions
+// against per-processor two-level caches, charging network, directory
+// and SDRAM latency through the models in internal/{network,memory}.
+package coherence
+
+// LineState is the directory-side state of a memory line.
+type LineState uint8
+
+const (
+	// Uncached: no cache holds the line.
+	Uncached LineState = iota
+	// SharedState: one or more caches hold it read-only.
+	SharedState
+	// ModifiedState: exactly one cache owns it dirty.
+	ModifiedState
+)
+
+// String returns a short name for the state.
+func (s LineState) String() string {
+	switch s {
+	case Uncached:
+		return "U"
+	case SharedState:
+		return "S"
+	case ModifiedState:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// Entry is one directory row. Sharers is a bitmask over processors
+// (systems up to 64 nodes); Owner is meaningful only in ModifiedState.
+type Entry struct {
+	Sharers uint64
+	Owner   int8
+	State   LineState
+}
+
+// Directory tracks the lines homed at one node. Lines never referenced
+// have no entry (implicitly Uncached).
+type Directory struct {
+	lines map[uint64]Entry
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{lines: make(map[uint64]Entry)}
+}
+
+// Lookup returns the entry for a line (zero Entry if absent).
+func (d *Directory) Lookup(line uint64) Entry {
+	return d.lines[line]
+}
+
+// setEntry stores or clears an entry.
+func (d *Directory) setEntry(line uint64, e Entry) {
+	if e.State == Uncached {
+		delete(d.lines, line)
+		return
+	}
+	d.lines[line] = e
+}
+
+// AddSharer transitions the line to SharedState including proc.
+func (d *Directory) AddSharer(line uint64, proc int) {
+	e := d.lines[line]
+	e.Sharers |= 1 << uint(proc)
+	e.State = SharedState
+	e.Owner = -1
+	d.lines[line] = e
+}
+
+// SetOwner transitions the line to ModifiedState owned by proc.
+func (d *Directory) SetOwner(line uint64, proc int) {
+	d.lines[line] = Entry{Sharers: 1 << uint(proc), Owner: int8(proc), State: ModifiedState}
+}
+
+// RemoveSharer drops proc from the sharer set (a replacement hint). If
+// the set empties, the line becomes Uncached.
+func (d *Directory) RemoveSharer(line uint64, proc int) {
+	e, ok := d.lines[line]
+	if !ok {
+		return
+	}
+	e.Sharers &^= 1 << uint(proc)
+	if e.Sharers == 0 {
+		delete(d.lines, line)
+		return
+	}
+	if e.State == ModifiedState && e.Owner == int8(proc) {
+		// Owner evicted (writeback): remaining state is shared of others
+		// (cannot normally happen in MSI — owner is sole sharer — but be
+		// defensive).
+		e.State = SharedState
+		e.Owner = -1
+	}
+	d.lines[line] = e
+}
+
+// Clear removes the line entirely (after a writeback of a modified line).
+func (d *Directory) Clear(line uint64) { delete(d.lines, line) }
+
+// Len returns the number of tracked lines.
+func (d *Directory) Len() int { return len(d.lines) }
+
+// ForEach visits every tracked line (iteration order unspecified).
+func (d *Directory) ForEach(fn func(line uint64, e Entry)) {
+	for l, e := range d.lines {
+		fn(l, e)
+	}
+}

@@ -1,0 +1,431 @@
+package coherence
+
+import (
+	"dsmphase/internal/cache"
+	"dsmphase/internal/memory"
+	"dsmphase/internal/network"
+)
+
+// Costs holds the protocol's fixed latencies in processor cycles, plus
+// message sizes for the network model.
+type Costs struct {
+	// DirectoryCycles is the home directory/controller lookup time.
+	DirectoryCycles uint64
+	// CtrlBytes is the size of a control message (request, ack, inv).
+	CtrlBytes int
+	// DataBytes is the size of a data reply (line + header).
+	DataBytes int
+}
+
+// DefaultCosts returns the latencies used with the Table I system.
+func DefaultCosts() Costs {
+	return Costs{DirectoryCycles: 10, CtrlBytes: 8, DataBytes: 40}
+}
+
+// AccessResult describes one completed load/store transaction.
+type AccessResult struct {
+	// Done is the completion time in cycles.
+	Done uint64
+	// HitLevel is 1 for an L1 hit, 2 for an L2 hit, 0 for a miss that
+	// went to the directory.
+	HitLevel int
+	// Remote reports whether the transaction crossed the network (home
+	// or owner on another node).
+	Remote bool
+	// Invalidations counts sharer invalidations performed.
+	Invalidations int
+	// MemoryAccess reports whether SDRAM was read.
+	MemoryAccess bool
+}
+
+// Stats aggregates protocol activity.
+type Stats struct {
+	Loads          uint64
+	Stores         uint64
+	L1Hits         uint64
+	L2Hits         uint64
+	DirectoryTrips uint64
+	RemoteTrips    uint64
+	Invalidations  uint64
+	Forwards       uint64
+	Writebacks     uint64
+}
+
+// Protocol is the system-wide coherence engine: per-processor L1/L2
+// caches, per-node directories and memories, and the interconnect.
+//
+// The protocol executes transactions atomically at a point in simulated
+// time (the commit time of the requesting instruction). Because the
+// machine always advances the processor with the smallest local clock,
+// transactions interleave in near time order and the busy-until state in
+// links and banks produces contention-dependent latencies.
+type Protocol struct {
+	n     int
+	costs Costs
+	l1    []*cache.Cache
+	l2    []*cache.Cache
+	dirs  []*Directory
+	mems  []*memory.SDRAM
+	net   network.Topology
+	home  func(line uint64) int
+	lineB uint64
+	st    Stats
+}
+
+// New assembles a protocol engine for n processors. home maps a line
+// address to its home node and must return values in [0, n).
+func New(n int, l1cfg, l2cfg cache.Config, memCfg memory.Config,
+	net network.Topology, costs Costs, home func(line uint64) int) *Protocol {
+	if n <= 0 {
+		panic("coherence: need at least one processor")
+	}
+	if n > 64 {
+		panic("coherence: sharer bitmask limits the system to 64 processors")
+	}
+	if net.Nodes() != n {
+		panic("coherence: network size must match processor count")
+	}
+	if l1cfg.LineBytes != l2cfg.LineBytes {
+		panic("coherence: L1 and L2 must share a line size")
+	}
+	p := &Protocol{
+		n:     n,
+		costs: costs,
+		l1:    make([]*cache.Cache, n),
+		l2:    make([]*cache.Cache, n),
+		dirs:  make([]*Directory, n),
+		mems:  make([]*memory.SDRAM, n),
+		net:   net,
+		home:  home,
+		lineB: uint64(l2cfg.LineBytes),
+	}
+	for i := 0; i < n; i++ {
+		p.l1[i] = cache.New(l1cfg)
+		p.l2[i] = cache.New(l2cfg)
+		p.dirs[i] = NewDirectory()
+		p.mems[i] = memory.New(memCfg)
+	}
+	return p
+}
+
+// N returns the processor count.
+func (p *Protocol) N() int { return p.n }
+
+// Home returns the home node of the line containing addr.
+func (p *Protocol) Home(addr uint64) int { return p.home(addr / p.lineB) }
+
+// LineBytes returns the coherence granularity.
+func (p *Protocol) LineBytes() uint64 { return p.lineB }
+
+// Directory exposes node i's directory (tests and invariant checks).
+func (p *Protocol) Directory(i int) *Directory { return p.dirs[i] }
+
+// CacheL1 exposes processor i's L1 (tests and statistics).
+func (p *Protocol) CacheL1(i int) *cache.Cache { return p.l1[i] }
+
+// CacheL2 exposes processor i's L2 (tests and statistics).
+func (p *Protocol) CacheL2(i int) *cache.Cache { return p.l2[i] }
+
+// Memory exposes node i's SDRAM (tests and statistics).
+func (p *Protocol) Memory(i int) *memory.SDRAM { return p.mems[i] }
+
+// Stats returns a copy of the protocol statistics.
+func (p *Protocol) Stats() Stats { return p.st }
+
+// lineAddrBytes converts a line address back to a byte address.
+func (p *Protocol) lineAddrBytes(line uint64) uint64 { return line * p.lineB }
+
+// Access executes a load (write=false) or store (write=true) by proc at
+// byte address addr starting at time now.
+func (p *Protocol) Access(now uint64, proc int, addr uint64, write bool) AccessResult {
+	if write {
+		p.st.Stores++
+	} else {
+		p.st.Loads++
+	}
+	line := addr / p.lineB
+	l1 := p.l1[proc]
+	l2 := p.l2[proc]
+
+	// L1 probe: the L1 mirrors L2 residency (inclusion); the
+	// authoritative coherence state lives in L2.
+	l1Hit, _ := l1.Lookup(addr)
+	l2Hit, l2State := l2.Lookup(addr)
+
+	if l2Hit {
+		if !write && (l2State == cache.Shared || l2State == cache.Modified) {
+			// Read hit.
+			if l1Hit {
+				p.st.L1Hits++
+				return AccessResult{Done: now + l1.Config().HitCycles, HitLevel: 1}
+			}
+			p.st.L2Hits++
+			p.fillL1(proc, addr, l2State)
+			return AccessResult{Done: now + l2.Config().HitCycles, HitLevel: 2}
+		}
+		if write && l2State == cache.Modified {
+			// Write hit on owned line.
+			if l1Hit {
+				p.st.L1Hits++
+				return AccessResult{Done: now + l1.Config().HitCycles, HitLevel: 1}
+			}
+			p.st.L2Hits++
+			p.fillL1(proc, addr, cache.Modified)
+			return AccessResult{Done: now + l2.Config().HitCycles, HitLevel: 2}
+		}
+		// Write hit on a Shared line: upgrade (invalidate other sharers).
+		return p.upgrade(now+l2.Config().HitCycles, proc, line, addr)
+	}
+
+	// Miss in L2: go to the home directory.
+	t := now + l2.Config().HitCycles // miss determination
+	if write {
+		return p.storeMiss(t, proc, line, addr)
+	}
+	return p.loadMiss(t, proc, line, addr)
+}
+
+// fillL1 inserts the line into L1, maintaining inclusion (victims are
+// silently dropped: L1 never holds the only dirty copy because stores
+// set Modified in both levels).
+func (p *Protocol) fillL1(proc int, addr uint64, st cache.State) {
+	p.l1[proc].Insert(addr, st)
+}
+
+// fillL2 inserts the line into L2, handling the displaced victim: dirty
+// victims are written back to their home memory; clean victims send the
+// home a replacement hint. Inclusion is maintained by invalidating the
+// victim in L1. Writeback traffic occupies the network and the home bank
+// at time t but does not extend the requester's critical path.
+func (p *Protocol) fillL2(t uint64, proc int, addr uint64, st cache.State) {
+	v := p.l2[proc].Insert(addr, st)
+	if !v.Valid {
+		return
+	}
+	vBytes := p.lineAddrBytes(v.LineAddr)
+	p.l1[proc].Invalidate(vBytes)
+	vh := p.home(v.LineAddr)
+	if v.State == cache.Modified {
+		p.st.Writebacks++
+		arr := p.net.Send(t, proc, vh, p.costs.DataBytes)
+		p.mems[vh].Write(arr, vBytes)
+		p.dirs[vh].Clear(v.LineAddr)
+	} else {
+		// Replacement hint keeps the sharer set tight so later upgrades
+		// do not invalidate stale sharers.
+		p.dirs[vh].RemoveSharer(v.LineAddr, proc)
+	}
+}
+
+// loadMiss fetches the line for reading.
+func (p *Protocol) loadMiss(t uint64, proc int, line, addr uint64) AccessResult {
+	h := p.home(line)
+	res := AccessResult{Remote: h != proc}
+	p.st.DirectoryTrips++
+	if h != proc {
+		p.st.RemoteTrips++
+		t = p.net.Send(t, proc, h, p.costs.CtrlBytes)
+	}
+	t += p.costs.DirectoryCycles
+	dir := p.dirs[h]
+	e := dir.Lookup(line)
+	switch e.State {
+	case ModifiedState:
+		o := int(e.Owner)
+		if o == proc {
+			// Stale self-ownership cannot happen: our L2 missed, and a
+			// miss means we gave the line up, which clears ownership.
+			panic("coherence: directory owner missed in its own cache")
+		}
+		p.st.Forwards++
+		// Forward to owner; owner downgrades M->S and supplies data.
+		t = p.net.Send(t, h, o, p.costs.CtrlBytes)
+		p.l2[o].SetState(p.lineAddrBytes(line), cache.Shared)
+		p.l1[o].SetState(p.lineAddrBytes(line), cache.Shared)
+		// Owner writes the dirty line back to home memory (off the
+		// requester's critical path once data is forwarded).
+		wb := p.net.Send(t, o, h, p.costs.DataBytes)
+		p.mems[h].Write(wb, p.lineAddrBytes(line))
+		if o != proc {
+			t = p.net.Send(t, o, proc, p.costs.DataBytes)
+			res.Remote = true
+		}
+		dir.setEntry(line, Entry{
+			Sharers: e.Sharers | 1<<uint(proc),
+			Owner:   -1,
+			State:   SharedState,
+		})
+	default:
+		// Uncached or Shared: home memory supplies data.
+		res.MemoryAccess = true
+		t = p.mems[h].Read(t, p.lineAddrBytes(line))
+		dir.AddSharer(line, proc)
+		if h != proc {
+			t = p.net.Send(t, h, proc, p.costs.DataBytes)
+		}
+	}
+	p.fillL2(t, proc, addr, cache.Shared)
+	p.fillL1(proc, addr, cache.Shared)
+	res.Done = t
+	return res
+}
+
+// storeMiss fetches the line for exclusive write.
+func (p *Protocol) storeMiss(t uint64, proc int, line, addr uint64) AccessResult {
+	h := p.home(line)
+	res := AccessResult{Remote: h != proc}
+	p.st.DirectoryTrips++
+	if h != proc {
+		p.st.RemoteTrips++
+		t = p.net.Send(t, proc, h, p.costs.CtrlBytes)
+	}
+	t += p.costs.DirectoryCycles
+	dir := p.dirs[h]
+	e := dir.Lookup(line)
+	switch e.State {
+	case ModifiedState:
+		o := int(e.Owner)
+		if o == proc {
+			panic("coherence: directory owner missed in its own cache")
+		}
+		p.st.Forwards++
+		t = p.net.Send(t, h, o, p.costs.CtrlBytes)
+		p.l2[o].Invalidate(p.lineAddrBytes(line))
+		p.l1[o].Invalidate(p.lineAddrBytes(line))
+		t = p.net.Send(t, o, proc, p.costs.DataBytes)
+		res.Remote = true
+	case SharedState:
+		// Invalidate every sharer; the requester waits for the slowest ack.
+		t = p.invalidateSharers(t, h, proc, line, e, &res)
+		res.MemoryAccess = true
+		rd := p.mems[h].Read(t, p.lineAddrBytes(line))
+		if rd > t {
+			t = rd
+		}
+		if h != proc {
+			t = p.net.Send(t, h, proc, p.costs.DataBytes)
+		}
+	default: // Uncached
+		res.MemoryAccess = true
+		t = p.mems[h].Read(t, p.lineAddrBytes(line))
+		if h != proc {
+			t = p.net.Send(t, h, proc, p.costs.DataBytes)
+		}
+	}
+	dir.SetOwner(line, proc)
+	p.fillL2(t, proc, addr, cache.Modified)
+	p.fillL1(proc, addr, cache.Modified)
+	res.Done = t
+	return res
+}
+
+// upgrade handles a store hit on a Shared line: the requester asks the
+// home to invalidate all other sharers, then gains ownership.
+func (p *Protocol) upgrade(t uint64, proc int, line, addr uint64) AccessResult {
+	h := p.home(line)
+	res := AccessResult{HitLevel: 2, Remote: h != proc}
+	p.st.DirectoryTrips++
+	if h != proc {
+		p.st.RemoteTrips++
+		t = p.net.Send(t, proc, h, p.costs.CtrlBytes)
+	}
+	t += p.costs.DirectoryCycles
+	dir := p.dirs[h]
+	e := dir.Lookup(line)
+	t = p.invalidateSharers(t, h, proc, line, e, &res)
+	if h != proc {
+		// Grant message back to the requester.
+		t = p.net.Send(t, h, proc, p.costs.CtrlBytes)
+	}
+	dir.SetOwner(line, proc)
+	p.l2[proc].SetState(addr, cache.Modified)
+	p.l1[proc].SetState(addr, cache.Modified)
+	res.Done = t
+	return res
+}
+
+// invalidateSharers sends invalidations from home h to every sharer of
+// line except requester, invalidates their caches, and returns the time
+// the last acknowledgment reaches h.
+func (p *Protocol) invalidateSharers(t uint64, h, requester int, line uint64, e Entry, res *AccessResult) uint64 {
+	latest := t
+	for s := 0; s < p.n; s++ {
+		if s == requester || e.Sharers&(1<<uint(s)) == 0 {
+			continue
+		}
+		p.st.Invalidations++
+		res.Invalidations++
+		arr := p.net.Send(t, h, s, p.costs.CtrlBytes)
+		p.l2[s].Invalidate(p.lineAddrBytes(line))
+		p.l1[s].Invalidate(p.lineAddrBytes(line))
+		ack := p.net.Send(arr, s, h, p.costs.CtrlBytes)
+		if ack > latest {
+			latest = ack
+		}
+	}
+	return latest
+}
+
+// CheckInvariants validates global protocol invariants, returning a
+// non-nil description on the first violation. Intended for tests.
+func (p *Protocol) CheckInvariants() error {
+	for h := 0; h < p.n; h++ {
+		var err error
+		p.dirs[h].ForEach(func(line uint64, e Entry) {
+			if err != nil {
+				return
+			}
+			addr := p.lineAddrBytes(line)
+			switch e.State {
+			case ModifiedState:
+				if e.Sharers != 1<<uint(e.Owner) {
+					err = errf("line %#x: modified with sharers %#x owner %d", line, e.Sharers, e.Owner)
+					return
+				}
+				if _, st := p.l2[e.Owner].Probe(addr); st != cache.Modified {
+					err = errf("line %#x: owner %d cache state %v, want M", line, e.Owner, st)
+					return
+				}
+				// No other cache may hold the line.
+				for q := 0; q < p.n; q++ {
+					if q == int(e.Owner) {
+						continue
+					}
+					if hit, _ := p.l2[q].Probe(addr); hit {
+						err = errf("line %#x: modified but also cached at %d", line, q)
+						return
+					}
+				}
+			case SharedState:
+				if e.Sharers == 0 {
+					err = errf("line %#x: shared with empty sharer set", line)
+					return
+				}
+				for q := 0; q < p.n; q++ {
+					hit, st := p.l2[q].Probe(addr)
+					inSet := e.Sharers&(1<<uint(q)) != 0
+					if hit && st == cache.Modified {
+						err = errf("line %#x: cache %d modified under shared directory state", line, q)
+						return
+					}
+					if hit && !inSet {
+						err = errf("line %#x: cache %d holds line outside sharer set", line, q)
+						return
+					}
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type protoError string
+
+func (e protoError) Error() string { return string(e) }
+
+func errf(format string, args ...any) error {
+	return protoError(sprintf(format, args...))
+}

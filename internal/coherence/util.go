@@ -1,0 +1,9 @@
+package coherence
+
+import "fmt"
+
+// sprintf is a thin alias so the protocol file stays free of direct fmt
+// dependencies in its hot paths.
+func sprintf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrequencyMatrixBasic(t *testing.T) {
+	f := NewFrequencyMatrix(4)
+	if f.N() != 4 {
+		t.Fatalf("N = %d", f.N())
+	}
+	f.Access(0)
+	f.Access(0)
+	f.Access(3)
+	v := f.QueryAndReset(1, nil)
+	want := []uint64{2, 0, 0, 1}
+	for j, w := range want {
+		if v[j] != w {
+			t.Errorf("F_1[%d] = %d, want %d", j, v[j], w)
+		}
+	}
+	// Counts on behalf of proc 1 were reset; proc 2's view still has them.
+	v1 := f.QueryAndReset(1, nil)
+	for j, x := range v1 {
+		if x != 0 {
+			t.Errorf("after reset F_1[%d] = %d, want 0", j, x)
+		}
+	}
+	v2 := f.QueryAndReset(2, nil)
+	for j, w := range want {
+		if v2[j] != w {
+			t.Errorf("F_2[%d] = %d, want %d", j, v2[j], w)
+		}
+	}
+}
+
+func TestFrequencyMatrixIndependentViews(t *testing.T) {
+	f := NewFrequencyMatrix(2)
+	f.Access(0)
+	_ = f.QueryAndReset(0, nil) // proc 0 starts a new interval
+	f.Access(1)
+	v0 := f.QueryAndReset(0, nil)
+	if v0[0] != 0 || v0[1] != 1 {
+		t.Errorf("proc 0 view = %v, want [0 1]", v0)
+	}
+	v1 := f.QueryAndReset(1, nil)
+	if v1[0] != 1 || v1[1] != 1 {
+		t.Errorf("proc 1 view = %v, want [1 1]", v1)
+	}
+}
+
+// Property: the snapshot formulation is equivalent to the paper's naive
+// hardware (increment F[k][j] for all k on every access; zero row i on
+// i's query).
+func TestFrequencyMatrixEquivalence(t *testing.T) {
+	type op struct {
+		Query bool
+		Idx   uint8
+	}
+	f := func(ops []op) bool {
+		const n = 4
+		fm := NewFrequencyMatrix(n)
+		naive := make([][]uint64, n) // naive[i][j]
+		for i := range naive {
+			naive[i] = make([]uint64, n)
+		}
+		for _, o := range ops {
+			k := int(o.Idx) % n
+			if o.Query {
+				got := fm.QueryAndReset(k, nil)
+				for j := 0; j < n; j++ {
+					if got[j] != naive[k][j] {
+						return false
+					}
+					naive[k][j] = 0
+				}
+			} else {
+				fm.Access(k)
+				for i := 0; i < n; i++ {
+					naive[i][k]++
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrequencyMatrixReuseBuffer(t *testing.T) {
+	f := NewFrequencyMatrix(3)
+	f.Access(2)
+	buf := make([]uint64, 3)
+	v := f.QueryAndReset(0, buf)
+	if &v[0] != &buf[0] {
+		t.Error("QueryAndReset must reuse a sufficiently large buffer")
+	}
+}
+
+func TestDistanceMatrix(t *testing.T) {
+	hops := func(i, j int) int {
+		d := i - j
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	m := NewDistanceMatrix(4, hops)
+	for i := 0; i < 4; i++ {
+		if m.At(i, i) != 1 {
+			t.Errorf("D[%d][%d] = %v, want 1 (paper requires 1 on diagonal)", i, i, m.At(i, i))
+		}
+	}
+	if m.At(0, 3) != 4 { // 1 + 3 hops
+		t.Errorf("D[0][3] = %v, want 4", m.At(0, 3))
+	}
+}
+
+func TestUniformDistanceMatrix(t *testing.T) {
+	m := UniformDistanceMatrix(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != 1 {
+				t.Errorf("D[%d][%d] = %v", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestComputeDDSAllLocal(t *testing.T) {
+	m := NewDistanceMatrix(2, func(i, j int) int { return 1 })
+	// Proc 0 only touches its own home; no other traffic.
+	raw, norm := ComputeDDS(0, []uint64{10, 0}, []uint64{10, 0}, m, DDSOptions{})
+	if raw != 10*1*10 {
+		t.Errorf("raw = %v, want 100", raw)
+	}
+	// normalized: (10/10)*1*(10/10) = 1 — minimal cost.
+	if math.Abs(norm-1) > 1e-12 {
+		t.Errorf("normalized = %v, want 1", norm)
+	}
+}
+
+func TestComputeDDSRemoteCostsMore(t *testing.T) {
+	m := NewDistanceMatrix(2, func(i, j int) int { return 2 })
+	_, local := ComputeDDS(0, []uint64{10, 0}, []uint64{10, 0}, m, DDSOptions{})
+	_, remote := ComputeDDS(0, []uint64{0, 10}, []uint64{0, 10}, m, DDSOptions{})
+	if remote <= local {
+		t.Errorf("remote-heavy DDS (%v) must exceed local-heavy DDS (%v)", remote, local)
+	}
+	if math.Abs(remote-3) > 1e-12 { // (10/10)*(1+2)*(10/10)
+		t.Errorf("remote = %v, want 3", remote)
+	}
+}
+
+func TestComputeDDSContentionTerm(t *testing.T) {
+	m := UniformDistanceMatrix(2)
+	// Same own accesses; system contention concentrated on home 0 vs split.
+	_, hot := ComputeDDS(0, []uint64{10, 0}, []uint64{100, 0}, m, DDSOptions{})
+	_, split := ComputeDDS(0, []uint64{10, 0}, []uint64{50, 50}, m, DDSOptions{})
+	if hot <= split {
+		t.Errorf("concentrated contention (%v) must exceed split contention (%v)", hot, split)
+	}
+	// With contention ignored the two cases are identical.
+	_, a := ComputeDDS(0, []uint64{10, 0}, []uint64{100, 0}, m, DDSOptions{IgnoreContention: true})
+	_, b := ComputeDDS(0, []uint64{10, 0}, []uint64{50, 50}, m, DDSOptions{IgnoreContention: true})
+	if a != b {
+		t.Errorf("IgnoreContention must erase contention sensitivity: %v vs %v", a, b)
+	}
+}
+
+func TestComputeDDSEmptyInterval(t *testing.T) {
+	m := UniformDistanceMatrix(2)
+	raw, norm := ComputeDDS(0, []uint64{0, 0}, []uint64{5, 5}, m, DDSOptions{})
+	if raw != 0 || norm != 0 {
+		t.Errorf("empty interval DDS = (%v, %v), want (0, 0)", raw, norm)
+	}
+}
+
+func TestComputeDDSDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ComputeDDS(0, []uint64{1}, []uint64{1, 2}, UniformDistanceMatrix(2), DDSOptions{})
+}
+
+func TestSumContention(t *testing.T) {
+	vs := [][]uint64{{1, 2}, {3, 4}, {0, 1}}
+	c := SumContention(vs, nil)
+	if c[0] != 4 || c[1] != 7 {
+		t.Errorf("C = %v, want [4 7]", c)
+	}
+	// Reuse.
+	buf := make([]uint64, 2)
+	c2 := SumContention(vs, buf)
+	if &c2[0] != &buf[0] {
+		t.Error("SumContention must reuse the buffer")
+	}
+	if c2[0] != 4 || c2[1] != 7 {
+		t.Errorf("C2 = %v", c2)
+	}
+	if got := SumContention(nil, buf); len(got) != 0 {
+		t.Error("empty input must give empty output")
+	}
+}
+
+// Property: normalized DDS of a single-processor view is bounded by the
+// max distance entry and at least the min distance entry.
+func TestComputeDDSBoundsProperty(t *testing.T) {
+	f := func(freqRaw [4]uint8, contRaw [4]uint8) bool {
+		n := 4
+		m := NewDistanceMatrix(n, func(i, j int) int {
+			return ((i ^ j) & 1) + ((i ^ j) >> 1 & 1) // hypercube-ish hops
+		})
+		freq := make([]uint64, n)
+		cont := make([]uint64, n)
+		var any bool
+		for j := 0; j < n; j++ {
+			freq[j] = uint64(freqRaw[j])
+			cont[j] = uint64(contRaw[j]) + freq[j] // contention includes own accesses
+			if freq[j] > 0 {
+				any = true
+			}
+		}
+		_, norm := ComputeDDS(0, freq, cont, m, DDSOptions{})
+		if !any {
+			return norm == 0
+		}
+		var minD, maxD float64 = math.Inf(1), 0
+		for j := 0; j < n; j++ {
+			d := m.At(0, j)
+			if d < minD {
+				minD = d
+			}
+			if d > maxD {
+				maxD = d
+			}
+		}
+		// Contention weights sum to <=1 over accessed homes, so the bound
+		// is normalized DDS <= maxD and >= 0.
+		return norm >= 0 && norm <= maxD+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverheadEstimatePaperNumbers(t *testing.T) {
+	o := PaperOverheadConfig()
+	if got := o.IntervalSeconds(); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("interval = %v s, want 0.05", got)
+	}
+	bw := o.BandwidthPerProcessor()
+	// Paper: "about 160kB/s".
+	if bw < 150e3 || bw > 170e3 {
+		t.Errorf("bandwidth = %v B/s, want ~160 kB/s", bw)
+	}
+	// Paper: "under 0.15% of the peak bandwidth".
+	if frac := o.FractionOfController(); frac >= 0.0015 {
+		t.Errorf("fraction = %v, want < 0.0015", frac)
+	}
+}
+
+func TestOverheadScalesQuadratically(t *testing.T) {
+	a := PaperOverheadConfig()
+	b := a
+	b.Processors = 64
+	ra := a.BytesPerInterval()
+	rb := b.BytesPerInterval()
+	// n(n-1) scaling: 64*63 / (32*31).
+	want := float64(64*63) / float64(32*31)
+	if math.Abs(rb/ra-want) > 1e-9 {
+		t.Errorf("scaling = %v, want %v", rb/ra, want)
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+// Detector kinds.
+type DetectorKind int
+
+const (
+	// DetectorBBV is the uniprocessor baseline: BBV signature only.
+	DetectorBBV DetectorKind = iota
+	// DetectorBBVDDV is the paper's contribution: BBV plus DDS, matched
+	// with two thresholds.
+	DetectorBBVDDV
+	// DetectorDDS is an ablation variant that classifies on the DDS
+	// alone (BBV threshold effectively infinite).
+	DetectorDDS
+	// DetectorWSS is the working-set-signature baseline of Dhodapkar &
+	// Smith, discussed in the paper's related work (§V).
+	DetectorWSS
+)
+
+// String returns the detector name used in figures and tables.
+func (k DetectorKind) String() string {
+	switch k {
+	case DetectorBBV:
+		return "BBV"
+	case DetectorBBVDDV:
+		return "BBV+DDV"
+	case DetectorDDS:
+		return "DDS"
+	case DetectorWSS:
+		return "WSS"
+	default:
+		return "unknown"
+	}
+}
+
+// IntervalSignature is everything the phase-detection hardware observes
+// about one sampling interval on one processor. The machine records one
+// per (processor, interval); classification — online or the offline
+// 200-threshold sweep — consumes only these.
+type IntervalSignature struct {
+	// Proc is the processor that owns the interval.
+	Proc int
+	// Index is the interval's ordinal position on that processor.
+	Index int
+	// BBV is the normalized accumulator snapshot (sums to 1).
+	BBV []float64
+	// WSS is the interval's instruction working-set signature (for the
+	// Dhodapkar-Smith baseline detector).
+	WSS WSSignature
+	// DDS is the normalized data distribution scalar.
+	DDS float64
+	// RawDDS is the unnormalized Σ F·D·C sum.
+	RawDDS float64
+	// PhaseID is the phase the online hardware detector assigned at
+	// interval end, or -1 when the machine ran without one (offline
+	// classification via ClassifyRecorded).
+	PhaseID int
+	// Instructions is the committed non-synchronization instruction count
+	// (the interval length definition of the paper).
+	Instructions uint64
+	// Cycles is the number of processor cycles the interval spanned.
+	Cycles uint64
+	// LocalAccesses and RemoteAccesses count committed memory operations
+	// by home locality (diagnostic; not used for classification).
+	LocalAccesses  uint64
+	RemoteAccesses uint64
+}
+
+// CPI returns the interval's cycles per committed non-sync instruction.
+func (s IntervalSignature) CPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Instructions)
+}
+
+// Detector is the per-processor online phase detector: a BBV accumulator
+// plus footprint table, optionally extended with DDS matching. It mirrors
+// the hardware organization of Fig. 1 / Fig. 3 in the paper.
+type Detector struct {
+	Kind  DetectorKind
+	Acc   *Accumulator
+	Table *FootprintTable
+}
+
+// NewDetector builds an online detector. For DetectorBBV thDDS is
+// ignored. For DetectorDDS the BBV threshold is set permissive (2 is the
+// maximum possible Manhattan distance between normalized vectors, so
+// every interval BBV-matches every entry).
+func NewDetector(kind DetectorKind, accSize, tableSize int, thBBV, thDDS float64) *Detector {
+	d := &Detector{Kind: kind, Acc: NewAccumulator(accSize)}
+	switch kind {
+	case DetectorBBV:
+		d.Table = NewFootprintTable(tableSize, thBBV)
+	case DetectorBBVDDV:
+		d.Table = NewFootprintTableDDS(tableSize, thBBV, thDDS)
+	case DetectorDDS:
+		d.Table = NewFootprintTableDDS(tableSize, 2.0, thDDS)
+	default:
+		panic("core: unknown detector kind")
+	}
+	return d
+}
+
+// EndInterval classifies the just-finished interval given its DDS and
+// resets the accumulator for the next interval. It returns the phase ID.
+func (d *Detector) EndInterval(dds float64) (phaseID int, matched bool) {
+	bbv := d.Acc.Snapshot()
+	phaseID, matched = d.Table.Classify(bbv, dds)
+	d.Acc.Reset()
+	return phaseID, matched
+}
+
+// ClassifyRecorded replays footprint-table dynamics over a recorded
+// per-processor signature sequence at the given thresholds, returning the
+// phase ID assigned to each interval. This is the offline equivalent of
+// running the online detector with those thresholds and is what makes the
+// paper's 200-point threshold sweep cheap: the simulation runs once, the
+// sweep replays classification only.
+func ClassifyRecorded(kind DetectorKind, tableSize int, thBBV, thDDS float64, sigs []IntervalSignature) []int {
+	var table *FootprintTable
+	switch kind {
+	case DetectorBBV:
+		table = NewFootprintTable(tableSize, thBBV)
+	case DetectorBBVDDV:
+		table = NewFootprintTableDDS(tableSize, thBBV, thDDS)
+	case DetectorDDS:
+		table = NewFootprintTableDDS(tableSize, 2.0, thDDS)
+	case DetectorWSS:
+		// The WSS baseline classifies on the working-set signature with
+		// thBBV interpreted as the relative-distance threshold.
+		return ClassifyRecordedWSS(tableSize, thBBV, sigs)
+	default:
+		panic("core: unknown detector kind")
+	}
+	out := make([]int, len(sigs))
+	for i, s := range sigs {
+		out[i], _ = table.Classify(s.BBV, s.DDS)
+	}
+	return out
+}

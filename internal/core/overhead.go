@@ -1,0 +1,63 @@
+package core
+
+// OverheadEstimate models the communication cost of the DDS computation
+// (paper §III-B): at each interval boundary a processor performs n−1
+// exchanges, each returning an n-entry frequency vector of hardware
+// counters. With 32 2 GHz processors, IPC = 1, and a "real-world"
+// interval of 100M instructions, the paper reports a sustained per-
+// processor bandwidth of about 160 kB/s — under 0.15% of a 1.5 GB/s
+// memory controller.
+type OverheadEstimate struct {
+	// Processors is the system size n.
+	Processors int
+	// ClockHz is the processor frequency (paper: 2 GHz).
+	ClockHz float64
+	// IPC is the assumed instructions per cycle (paper: 1).
+	IPC float64
+	// IntervalInstructions is the sampling interval length (paper: 100M).
+	IntervalInstructions float64
+	// CounterBytes is the wire size of one frequency counter (8 bytes).
+	CounterBytes int
+	// ControllerBandwidth is the memory controller's capacity in bytes/s
+	// used for the relative-overhead figure (paper: 1.5 GB/s).
+	ControllerBandwidth float64
+}
+
+// PaperOverheadConfig returns the exact parameters the paper plugs into
+// its estimate.
+func PaperOverheadConfig() OverheadEstimate {
+	return OverheadEstimate{
+		Processors:           32,
+		ClockHz:              2e9,
+		IPC:                  1,
+		IntervalInstructions: 100e6,
+		CounterBytes:         8,
+		ControllerBandwidth:  1.5e9,
+	}
+}
+
+// IntervalSeconds returns the wall-clock duration of one sampling
+// interval.
+func (o OverheadEstimate) IntervalSeconds() float64 {
+	return o.IntervalInstructions / (o.ClockHz * o.IPC)
+}
+
+// BytesPerInterval returns the bytes a single processor moves per
+// interval boundary: n−1 exchanges, each carrying an n-entry vector of
+// counters.
+func (o OverheadEstimate) BytesPerInterval() float64 {
+	n := float64(o.Processors)
+	return (n - 1) * n * float64(o.CounterBytes)
+}
+
+// BandwidthPerProcessor returns the sustained bytes/s each processor's
+// DDS exchanges consume.
+func (o OverheadEstimate) BandwidthPerProcessor() float64 {
+	return o.BytesPerInterval() / o.IntervalSeconds()
+}
+
+// FractionOfController returns the per-processor overhead as a fraction
+// of the memory controller's bandwidth.
+func (o OverheadEstimate) FractionOfController() float64 {
+	return o.BandwidthPerProcessor() / o.ControllerBandwidth
+}

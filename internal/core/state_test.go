@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	ft := NewFootprintTable(4, 0.2)
+	a, _ := ft.Classify(vec(1, 0, 0), 0)
+	b, _ := ft.Classify(vec(0, 1, 0), 0)
+	st := ft.Snapshot()
+
+	// Perturb the table heavily.
+	for i := 0; i < 10; i++ {
+		ft.Classify(vec(0, 0, 1), float64(i))
+	}
+	ft.Restore(st)
+
+	// Original entries classify to their original phases again.
+	idA, m := ft.Classify(vec(1, 0, 0), 0)
+	if !m || idA != a {
+		t.Errorf("A after restore = (%d, %v), want (%d, true)", idA, m, a)
+	}
+	idB, m := ft.Classify(vec(0, 1, 0), 0)
+	if !m || idB != b {
+		t.Errorf("B after restore = (%d, %v), want (%d, true)", idB, m, b)
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	ft := NewFootprintTable(2, 0.2)
+	ft.Classify(vec(1, 0), 0)
+	st := ft.Snapshot()
+	// Mutating the snapshot must not affect the live table.
+	st.Entries[0].BBV[0] = 0
+	id, m := ft.Classify(vec(1, 0), 0)
+	if !m || id != 0 {
+		t.Error("snapshot mutation leaked into the table")
+	}
+	// And mutating the table must not affect the snapshot.
+	ft.Classify(vec(0, 1), 0)
+	if st.Entries[0].BBV[0] != 0 {
+		t.Error("table mutation leaked into the snapshot")
+	}
+}
+
+func TestRestoreSizeMismatchPanics(t *testing.T) {
+	ft := NewFootprintTable(2, 0.2)
+	st := ft.Snapshot()
+	big := NewFootprintTable(4, 0.2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	big.Restore(st)
+}
+
+// mkThread builds a thread whose intervals cycle through `phases`
+// distinct signatures.
+func mkThread(phases, intervals int, base float64) []IntervalSignature {
+	out := make([]IntervalSignature, intervals)
+	for i := range out {
+		x := base + float64(i%phases)*0.2
+		out[i] = IntervalSignature{BBV: []float64{x, 1 - x}, DDS: 0}
+	}
+	return out
+}
+
+func TestMultiprogramSaveRestoreStable(t *testing.T) {
+	// Two threads with 2 recurring phases each: with save/restore the
+	// shared detector should allocate exactly 4 phases total.
+	threads := [][]IntervalSignature{
+		mkThread(2, 40, 0.0),
+		mkThread(2, 40, 0.5),
+	}
+	ids, phases := MultiprogramReplay(DetectorBBV, 8, 0.05, 0, threads, 5, SwitchSaveRestore)
+	if phases != 4 {
+		t.Errorf("save/restore allocated %d phases, want 4", phases)
+	}
+	// Within a thread, recurring signatures keep their IDs across
+	// scheduling slices.
+	for th := range ids {
+		for i := 2; i < len(ids[th]); i++ {
+			if ids[th][i] != ids[th][i-2] {
+				t.Errorf("thread %d interval %d: phase %d != %d two intervals ago",
+					th, i, ids[th][i], ids[th][i-2])
+			}
+		}
+	}
+}
+
+func TestMultiprogramClearCostsMoreTuning(t *testing.T) {
+	threads := [][]IntervalSignature{
+		mkThread(2, 40, 0.0),
+		mkThread(2, 40, 0.5),
+	}
+	_, saved := MultiprogramReplay(DetectorBBV, 8, 0.05, 0, threads, 5, SwitchSaveRestore)
+	_, cleared := MultiprogramReplay(DetectorBBV, 8, 0.05, 0, threads, 5, SwitchClear)
+	// Clearing re-discovers both phases on every slice: 16 slices × 2.
+	if cleared <= saved {
+		t.Errorf("clearing (%d phases) must cost more than save/restore (%d) — the paper's trade-off",
+			cleared, saved)
+	}
+	if cleared < 4*saved {
+		t.Logf("note: clear/saved ratio = %d/%d", cleared, saved)
+	}
+}
+
+func TestMultiprogramIDsGloballyUnique(t *testing.T) {
+	threads := [][]IntervalSignature{
+		mkThread(2, 20, 0.0),
+		mkThread(3, 30, 0.4),
+	}
+	for _, policy := range []ContextSwitchPolicy{SwitchSaveRestore, SwitchClear} {
+		ids, total := MultiprogramReplay(DetectorBBV, 8, 0.05, 0, threads, 4, policy)
+		seenBy := map[int]int{} // id -> thread
+		for th := range ids {
+			for _, id := range ids[th] {
+				if id < 0 || id >= total {
+					t.Fatalf("policy %v: id %d outside [0, %d)", policy, id, total)
+				}
+				if prev, ok := seenBy[id]; ok && prev != th {
+					t.Fatalf("policy %v: phase %d shared across threads %d and %d",
+						policy, id, prev, th)
+				}
+				seenBy[id] = th
+			}
+		}
+	}
+}
+
+func TestMultiprogramUnevenThreadLengths(t *testing.T) {
+	threads := [][]IntervalSignature{
+		mkThread(1, 7, 0.0),
+		mkThread(1, 31, 0.5),
+	}
+	ids, _ := MultiprogramReplay(DetectorBBV, 8, 4, 0, threads, 4, SwitchSaveRestore)
+	if len(ids[0]) != 7 || len(ids[1]) != 31 {
+		t.Errorf("output shapes %d/%d", len(ids[0]), len(ids[1]))
+	}
+}
+
+func TestMultiprogramPanics(t *testing.T) {
+	threads := [][]IntervalSignature{mkThread(1, 2, 0)}
+	cases := []func(){
+		func() { MultiprogramReplay(DetectorBBV, 8, 0.1, 0, threads, 0, SwitchClear) },
+		func() { MultiprogramReplay(DetectorWSS, 8, 0.1, 0, threads, 1, SwitchClear) },
+		func() { MultiprogramReplay(DetectorBBV, 8, 0.1, 0, threads, 1, ContextSwitchPolicy(9)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,166 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsmphase/internal/isa"
+)
+
+func TestNewGsharePanics(t *testing.T) {
+	for _, args := range [][2]int{{0, 4}, {3, 4}, {8, -1}, {8, 40}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGshare(%v) should panic", args)
+				}
+			}()
+			NewGshare(args[0], args[1])
+		}()
+	}
+}
+
+func TestGshareLearnsAlwaysTaken(t *testing.T) {
+	g := NewGshare(2048, 11)
+	pc := uint32(0x400)
+	// After warm-up an always-taken branch must be predicted perfectly.
+	for i := 0; i < 4; i++ {
+		g.Update(pc, true)
+	}
+	miss := 0
+	for i := 0; i < 100; i++ {
+		if g.Update(pc, true) {
+			miss++
+		}
+	}
+	if miss != 0 {
+		t.Errorf("mispredicted %d/100 on an always-taken branch", miss)
+	}
+	if g.Accuracy() < 0.9 {
+		t.Errorf("accuracy = %v", g.Accuracy())
+	}
+}
+
+func TestGshareLearnsLoopPattern(t *testing.T) {
+	// A counted loop with trip count 8 (TTTTTTTN repeating) has a
+	// history-detectable pattern; gshare with 11 history bits should get
+	// well above 50% after warm-up.
+	g := NewGshare(2048, 11)
+	step := func() int {
+		miss := 0
+		for rep := 0; rep < 64; rep++ {
+			for i := 0; i < 8; i++ {
+				if g.Update(0x400, i < 7) {
+					miss++
+				}
+			}
+		}
+		return miss
+	}
+	step() // warm-up
+	miss := step()
+	total := 64 * 8
+	if frac := float64(miss) / float64(total); frac > 0.1 {
+		t.Errorf("loop pattern miss rate = %v, want < 0.1", frac)
+	}
+}
+
+func TestGsharePredictDoesNotTrain(t *testing.T) {
+	g := NewGshare(8, 0)
+	before := g.Predict(0x40)
+	for i := 0; i < 10; i++ {
+		if g.Predict(0x40) != before {
+			t.Fatal("Predict must be side-effect free")
+		}
+	}
+	if g.Lookups() != 0 {
+		t.Error("Predict must not count as a lookup")
+	}
+}
+
+func TestGshareAccuracyEmpty(t *testing.T) {
+	if got := NewGshare(8, 0).Accuracy(); got != 1 {
+		t.Errorf("Accuracy with no branches = %v, want 1", got)
+	}
+}
+
+func TestModelCosts(t *testing.T) {
+	m := NewModel(DefaultConfig())
+	// Int: limited by width (6-wide, 6 ALUs): 1/6 cycle.
+	if got := m.Cost(isa.Inst{Op: isa.OpInt}, 0); got != 1.0/6 {
+		t.Errorf("int cost = %v, want 1/6", got)
+	}
+	// FP: 4 FPUs < width: 1/4 cycle.
+	if got := m.Cost(isa.Inst{Op: isa.OpFP}, 0); got != 0.25 {
+		t.Errorf("fp cost = %v, want 0.25", got)
+	}
+	// Loads: 2 mem ports: 1/2 cycle plus scaled stall.
+	cfg := DefaultConfig()
+	want := 0.5 + 100*cfg.LoadStallFactor
+	if got := m.Cost(isa.Inst{Op: isa.OpLoad}, 100); got != want {
+		t.Errorf("load cost = %v, want %v", got, want)
+	}
+	// Stores hide most of the stall.
+	wantSt := 0.5 + 100*cfg.StoreStallFactor
+	if got := m.Cost(isa.Inst{Op: isa.OpStore}, 100); got != wantSt {
+		t.Errorf("store cost = %v, want %v", got, wantSt)
+	}
+}
+
+func TestModelBranchPenalty(t *testing.T) {
+	cfg := DefaultConfig()
+	m := NewModel(cfg)
+	// Train taken, then surprise with not-taken.
+	for i := 0; i < 8; i++ {
+		m.Cost(isa.Inst{Op: isa.OpBranch, PC: 0x80, Taken: true}, 0)
+	}
+	correct := m.Cost(isa.Inst{Op: isa.OpBranch, PC: 0x80, Taken: true}, 0)
+	wrong := m.Cost(isa.Inst{Op: isa.OpBranch, PC: 0x80, Taken: false}, 0)
+	if wrong-correct < cfg.MispredictPenalty-1e-9 {
+		t.Errorf("mispredict cost delta = %v, want >= %v", wrong-correct, cfg.MispredictPenalty)
+	}
+}
+
+func TestNewModelPanics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Width = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewModel(cfg)
+}
+
+// Property: costs are always positive and bounded by
+// 1 + penalty + stall for any input.
+func TestCostBoundsProperty(t *testing.T) {
+	m := NewModel(DefaultConfig())
+	f := func(opR uint8, pc uint32, taken bool, stallR uint16) bool {
+		op := isa.Op(opR % uint8(isa.NumOps))
+		stall := float64(stallR)
+		c := m.Cost(isa.Inst{Op: op, PC: pc, Taken: taken}, stall)
+		return c > 0 && c <= 1+m.Config().MispredictPenalty+stall
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: gshare is deterministic — identical update sequences produce
+// identical mispredict counts.
+func TestGshareDeterministicProperty(t *testing.T) {
+	f := func(pcs []uint16, dirs []bool) bool {
+		run := func() uint64 {
+			g := NewGshare(256, 8)
+			for i, pc := range pcs {
+				g.Update(uint32(pc)<<2, i < len(dirs) && dirs[i])
+			}
+			return g.Mispredicts()
+		}
+		return run() == run()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"dsmphase/internal/core"
+	"dsmphase/internal/workloads"
+)
+
+// FigureConfig scales a figure reproduction. The paper's full runs use
+// Size=full and Interval=3M/Procs; the defaults here use the reduced
+// sizes so the whole figure regenerates in minutes on a laptop, exactly
+// as the paper itself shrank 100M-instruction intervals to 3M for its
+// reduced inputs.
+type FigureConfig struct {
+	// Apps lists the Table II applications to include (empty = all four).
+	Apps []string
+	// Size is the workload input scale.
+	Size workloads.Size
+	// Interval is the total system sampling interval; each processor
+	// samples Interval/Procs instructions (the paper's 3M/n rule).
+	// 0 derives 300k total for the reduced inputs.
+	Interval uint64
+	// Seed drives the workloads.
+	Seed uint64
+}
+
+// Figure2 reproduces the baseline experiment: BBV-only CoV curves for
+// each application at 2, 8 and 32 processors (paper Fig. 2). The paper's
+// qualitative claim: curves degrade (shift up) as the node count grows.
+func Figure2(fc FigureConfig, procsList []int) ([]CurveResult, error) {
+	if len(procsList) == 0 {
+		procsList = []int{2, 8, 32}
+	}
+	return runFigure(fc, procsList, []core.DetectorKind{core.DetectorBBV})
+}
+
+// Figure4 reproduces the contribution experiment: BBV vs BBV+DDV CoV
+// curves at 8 and 32 processors (paper Fig. 4). The paper's qualitative
+// claim: BBV+DDV lies below BBV everywhere, and the gap widens at 32P.
+func Figure4(fc FigureConfig, procsList []int) ([]CurveResult, error) {
+	if len(procsList) == 0 {
+		procsList = []int{8, 32}
+	}
+	return runFigure(fc, procsList, []core.DetectorKind{core.DetectorBBV, core.DetectorBBVDDV})
+}
+
+func (fc FigureConfig) apps() []string {
+	if len(fc.Apps) > 0 {
+		return fc.Apps
+	}
+	return []string{"fmm", "lu", "equake", "art"} // paper panel order
+}
+
+func (fc FigureConfig) interval(procs int) uint64 {
+	if fc.Interval > 0 {
+		return fc.Interval / uint64(procs)
+	}
+	return 300_000 / uint64(procs)
+}
+
+// runFigure simulates each (app, procs) pair once and sweeps every
+// requested detector over the same recorded signatures, so BBV and
+// BBV+DDV are compared on identical executions, as in the paper.
+func runFigure(fc FigureConfig, procsList []int, kinds []core.DetectorKind) ([]CurveResult, error) {
+	var out []CurveResult
+	for _, app := range fc.apps() {
+		for _, procs := range procsList {
+			rc := RunConfig{
+				Workload:             app,
+				Size:                 fc.Size,
+				Procs:                procs,
+				IntervalInstructions: fc.interval(procs),
+				Seed:                 fc.Seed,
+			}
+			m, sum, err := Simulate(rc)
+			if err != nil {
+				return nil, err
+			}
+			for _, kind := range kinds {
+				out = append(out, SweepMachine(m, rc, kind, sum))
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteFigure prints every curve of a figure.
+func WriteFigure(w io.Writer, title string, results []CurveResult) error {
+	if _, err := fmt.Fprintf(w, "== %s ==\n\n", title); err != nil {
+		return err
+	}
+	for _, c := range results {
+		if err := WriteCurve(w, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompareAtPhases reports, for a (BBV, BBV+DDV) curve pair, the CoV each
+// achieves with at most maxPhases phases — the comparison the paper
+// makes in prose ("at 25 phases, DDV reduces CoV from 29% to 15%").
+func CompareAtPhases(bbv, ddv CurveResult, maxPhases float64) (bbvCoV, ddvCoV float64) {
+	return bbv.Curve.CoVAt(maxPhases), ddv.Curve.CoVAt(maxPhases)
+}
+
+// CompareAtCoV reports the phase count (tuning overhead) each detector
+// needs to reach the target CoV ("at 29% CoV, DDV reduces phases from 25
+// to 11").
+func CompareAtCoV(bbv, ddv CurveResult, targetCoV float64) (bbvPhases, ddvPhases float64) {
+	return bbv.Curve.PhasesAt(targetCoV), ddv.Curve.PhasesAt(targetCoV)
+}

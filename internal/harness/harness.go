@@ -1,0 +1,212 @@
+// Package harness runs the paper's experiments end to end: it simulates
+// a workload on the DSM machine once, records per-interval signatures,
+// then sweeps classification thresholds offline to produce the CoV
+// curves of Figures 2 and 4.
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"dsmphase/internal/core"
+	"dsmphase/internal/machine"
+	"dsmphase/internal/stats"
+	"dsmphase/internal/workloads"
+)
+
+// RunConfig describes one simulation.
+type RunConfig struct {
+	// Workload is the Table II application name.
+	Workload string
+	// Size selects the input scale.
+	Size workloads.Size
+	// Procs is the node count.
+	Procs int
+	// IntervalInstructions overrides the sampling interval; 0 keeps the
+	// paper's 3M/Procs.
+	IntervalInstructions uint64
+	// Seed drives workload pseudo-randomness.
+	Seed uint64
+	// Tweak, if non-nil, may adjust the machine configuration before the
+	// run (used by ablation benchmarks).
+	Tweak func(*machine.Config)
+}
+
+// Simulate builds the machine, runs the workload to completion and
+// returns the machine (whose records feed the sweeps) plus the summary.
+func Simulate(rc RunConfig) (*machine.Machine, machine.Summary, error) {
+	w, err := workloads.ByName(rc.Workload)
+	if err != nil {
+		return nil, machine.Summary{}, err
+	}
+	cfg := machine.DefaultConfig(rc.Procs)
+	if rc.IntervalInstructions > 0 {
+		cfg.IntervalInstructions = rc.IntervalInstructions
+	}
+	if rc.Tweak != nil {
+		rc.Tweak(&cfg)
+	}
+	m := machine.New(cfg, w.Threads(rc.Procs, rc.Size, rc.Seed))
+	sum, err := m.Run()
+	if err != nil {
+		return nil, machine.Summary{}, fmt.Errorf("harness: %s/%dP: %w", rc.Workload, rc.Procs, err)
+	}
+	return m, sum, nil
+}
+
+// SweepConfig describes one threshold sweep over recorded signatures.
+type SweepConfig struct {
+	// Kind selects the detector.
+	Kind core.DetectorKind
+	// TableSize is the footprint-table size (paper: 32).
+	TableSize int
+	// BBVThresholds are the Manhattan-distance thresholds to examine.
+	BBVThresholds []float64
+	// DDSThresholds are the DDS-difference thresholds (two-threshold
+	// detectors only; ignored for DetectorBBV).
+	DDSThresholds []float64
+}
+
+// DefaultBBVThresholds returns the paper's ~200 threshold values,
+// geometrically spaced over the meaningful Manhattan range for
+// normalized BBVs (0, 2].
+func DefaultBBVThresholds(n int) []float64 {
+	return stats.GeomSpace(0.004, 2.0, n)
+}
+
+// DefaultDDSThresholds returns a geometric grid of DDS-difference
+// thresholds up to the maximum normalized DDS (1 + network dimension).
+func DefaultDDSThresholds(n int, maxDistance float64) []float64 {
+	return stats.GeomSpace(0.002, maxDistance, n)
+}
+
+// DefaultSweep builds the sweep the paper uses for the given detector:
+// 200 BBV thresholds for the baseline; a 50×12 threshold grid for
+// BBV+DDV (the two-threshold generalization of "two hundred threshold
+// values"); 200 DDS thresholds for the DDS-only ablation.
+func DefaultSweep(kind core.DetectorKind, maxDistance float64) SweepConfig {
+	sc := SweepConfig{Kind: kind, TableSize: core.DefaultFootprintSize}
+	switch kind {
+	case core.DetectorBBV:
+		sc.BBVThresholds = DefaultBBVThresholds(200)
+		sc.DDSThresholds = []float64{0}
+	case core.DetectorBBVDDV:
+		sc.BBVThresholds = DefaultBBVThresholds(50)
+		sc.DDSThresholds = DefaultDDSThresholds(12, maxDistance)
+	case core.DetectorDDS:
+		sc.BBVThresholds = []float64{2}
+		sc.DDSThresholds = DefaultDDSThresholds(200, maxDistance)
+	case core.DetectorWSS:
+		// Relative signature distance lies in [0, 1].
+		sc.BBVThresholds = stats.GeomSpace(0.002, 1.0, 200)
+		sc.DDSThresholds = []float64{0}
+	}
+	return sc
+}
+
+// Sweep classifies the recorded per-processor signature sequences at
+// every threshold setting. For each setting it computes each processor's
+// identifier CoV and phase count, then averages them across processors
+// (the paper's "system-wide CoV curve"). The returned cloud contains one
+// point per threshold setting; reduce it with stats.LowerEnvelope for
+// the presentation curve.
+func Sweep(recs [][]core.IntervalSignature, sc SweepConfig) []stats.CurvePoint {
+	if sc.TableSize <= 0 {
+		sc.TableSize = core.DefaultFootprintSize
+	}
+	dds := sc.DDSThresholds
+	if sc.Kind == core.DetectorBBV || sc.Kind == core.DetectorWSS || len(dds) == 0 {
+		dds = []float64{0}
+	}
+	var out []stats.CurvePoint
+	cpis := make([][]float64, len(recs))
+	for p, rs := range recs {
+		cpis[p] = make([]float64, len(rs))
+		for i, r := range rs {
+			cpis[p][i] = r.CPI()
+		}
+	}
+	for _, tb := range sc.BBVThresholds {
+		for _, td := range dds {
+			var sumCov, sumPhases float64
+			procs := 0
+			for p, rs := range recs {
+				if len(rs) == 0 {
+					continue
+				}
+				ids := core.ClassifyRecorded(sc.Kind, sc.TableSize, tb, td, rs)
+				cov, nPhases := stats.IdentifierCoV(ids, cpis[p])
+				sumCov += cov
+				sumPhases += float64(nPhases)
+				procs++
+			}
+			if procs == 0 {
+				continue
+			}
+			out = append(out, stats.CurvePoint{
+				Phases:       sumPhases / float64(procs),
+				CoV:          sumCov / float64(procs),
+				Threshold:    tb,
+				ThresholdDDS: td,
+			})
+		}
+	}
+	return out
+}
+
+// CurveResult is one named curve of a figure.
+type CurveResult struct {
+	App      string
+	Procs    int
+	Detector core.DetectorKind
+	// Curve is the lower envelope over the sweep's point cloud.
+	Curve stats.Curve
+	// Summary carries whole-run simulation statistics.
+	Summary machine.Summary
+}
+
+// Label returns the curve's legend label ("lu 8P BBV+DDV").
+func (c CurveResult) Label() string {
+	return fmt.Sprintf("%s %dP %s", c.App, c.Procs, c.Detector)
+}
+
+// RunCurve simulates one configuration and sweeps one detector over it.
+func RunCurve(rc RunConfig, kind core.DetectorKind) (CurveResult, error) {
+	m, sum, err := Simulate(rc)
+	if err != nil {
+		return CurveResult{}, err
+	}
+	return SweepMachine(m, rc, kind, sum), nil
+}
+
+// SweepMachine sweeps a detector over an already-simulated machine.
+func SweepMachine(m *machine.Machine, rc RunConfig, kind core.DetectorKind, sum machine.Summary) CurveResult {
+	maxD := 1.0 + float64(m.Network().Diameter())
+	cloud := Sweep(m.RecordsByProc(), DefaultSweep(kind, maxD))
+	return CurveResult{
+		App:      rc.Workload,
+		Procs:    rc.Procs,
+		Detector: kind,
+		Curve:    stats.LowerEnvelope(cloud),
+		Summary:  sum,
+	}
+}
+
+// WriteCurve prints a curve as "phases cov threshold" rows.
+func WriteCurve(w io.Writer, c CurveResult) error {
+	if _, err := fmt.Fprintf(w, "# %s  (intervals=%d, instrs=%d, IPC=%.3f)\n",
+		c.Label(), c.Summary.Intervals, c.Summary.Instructions, c.Summary.IPC); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-10s %-10s %-12s %-12s\n", "phases", "cov", "thBBV", "thDDS"); err != nil {
+		return err
+	}
+	for _, p := range c.Curve.Points {
+		if _, err := fmt.Fprintf(w, "%-10.2f %-10.4f %-12.5f %-12.5f\n",
+			p.Phases, p.CoV, p.Threshold, p.ThresholdDDS); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,18 @@
+package isa
+
+// Thread is a resumable instruction-stream generator: one logical thread
+// of a parallel workload. The machine pulls batches on demand; a batch
+// boundary carries no semantic meaning (it is purely a buffering
+// granularity), except that Sync instructions mark barrier arrivals.
+type Thread interface {
+	// NextBatch emits the thread's next chunk of instructions into e
+	// (which the caller has Reset). It returns false — emitting nothing —
+	// when the thread has run to completion.
+	NextBatch(e *Emitter) bool
+}
+
+// ThreadFunc adapts a function to the Thread interface.
+type ThreadFunc func(e *Emitter) bool
+
+// NextBatch calls f.
+func (f ThreadFunc) NextBatch(e *Emitter) bool { return f(e) }

@@ -1,0 +1,389 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"dsmphase/internal/coherence"
+	"dsmphase/internal/core"
+	"dsmphase/internal/cpu"
+	"dsmphase/internal/isa"
+	"dsmphase/internal/network"
+)
+
+// proc is one simulated processor's private state.
+type proc struct {
+	id    int
+	clock float64 // local cycle count
+	model *cpu.Model
+	acc   *core.Accumulator
+	wss   core.WSSignature
+	freq  *core.FrequencyMatrix
+	// table is the online footprint table (nil when classification is
+	// offline-only).
+	table *core.FootprintTable
+
+	thread  isa.Thread
+	emitter *isa.Emitter
+	buf     []isa.Inst
+	pos     int
+
+	done      bool
+	atBarrier bool
+
+	intervalStart float64
+	instrs        uint64 // non-sync instructions in current interval
+	intervalIdx   int
+	localAcc      uint64
+	remoteAcc     uint64
+
+	totalInstrs uint64
+	totalSync   uint64
+
+	records []core.IntervalSignature
+}
+
+// Machine is one assembled DSM system plus the workload threads bound to
+// its processors.
+type Machine struct {
+	cfg   Config
+	procs []*proc
+	net   network.Topology
+	proto *coherence.Protocol
+	dist  *core.DistanceMatrix
+
+	// scratch for interval-end DDS gathering
+	gatherVecs [][]uint64
+	barriers   uint64
+}
+
+// New assembles a machine and binds one thread per processor. The number
+// of threads must equal cfg.Procs.
+func New(cfg Config, threads []isa.Thread) *Machine {
+	if cfg.Procs <= 0 {
+		panic("machine: need at least one processor")
+	}
+	if len(threads) != cfg.Procs {
+		panic(fmt.Sprintf("machine: %d threads for %d processors", len(threads), cfg.Procs))
+	}
+	if cfg.IntervalInstructions == 0 {
+		panic("machine: interval length must be positive")
+	}
+	net := network.NewTopology(cfg.Topology, cfg.Procs, cfg.Net)
+	lineBytes := uint64(cfg.L2.LineBytes)
+	n := uint64(cfg.Procs)
+	home := func(line uint64) int {
+		return int((line * lineBytes >> HomeShift) % n)
+	}
+	proto := coherence.New(cfg.Procs, cfg.L1, cfg.L2, cfg.Mem, net, cfg.Costs, home)
+	var dist *core.DistanceMatrix
+	if cfg.UniformDistance {
+		dist = core.UniformDistanceMatrix(cfg.Procs)
+	} else {
+		dist = core.NewDistanceMatrix(cfg.Procs, net.Hops)
+	}
+	m := &Machine{cfg: cfg, net: net, proto: proto, dist: dist}
+	m.gatherVecs = make([][]uint64, cfg.Procs)
+	for i := range m.gatherVecs {
+		m.gatherVecs[i] = make([]uint64, cfg.Procs)
+	}
+	m.procs = make([]*proc, cfg.Procs)
+	for i := 0; i < cfg.Procs; i++ {
+		p := &proc{
+			id:      i,
+			model:   cpu.NewModel(cfg.CPU),
+			acc:     core.NewAccumulator(cfg.AccumulatorSize),
+			freq:    core.NewFrequencyMatrix(cfg.Procs),
+			thread:  threads[i],
+			emitter: isa.NewEmitter(4096),
+		}
+		if oc := cfg.Online; oc != nil {
+			switch oc.Kind {
+			case core.DetectorBBV:
+				p.table = core.NewFootprintTable(cfg.FootprintSize, oc.ThBBV)
+			case core.DetectorBBVDDV:
+				p.table = core.NewFootprintTableDDS(cfg.FootprintSize, oc.ThBBV, oc.ThDDS)
+			case core.DetectorDDS:
+				p.table = core.NewFootprintTableDDS(cfg.FootprintSize, 2.0, oc.ThDDS)
+			default:
+				panic("machine: online detection supports the BBV-family detectors")
+			}
+		}
+		m.procs[i] = p
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Network exposes the interconnect (statistics).
+func (m *Machine) Network() network.Topology { return m.net }
+
+// Protocol exposes the coherence engine (statistics, invariants).
+func (m *Machine) Protocol() *coherence.Protocol { return m.proto }
+
+// Distance exposes the distance matrix used for DDS computation.
+func (m *Machine) Distance() *core.DistanceMatrix { return m.dist }
+
+// Summary reports whole-run statistics.
+type Summary struct {
+	Instructions uint64  // committed, including sync
+	SyncInstrs   uint64  // barrier arrivals
+	Cycles       float64 // max processor clock
+	Intervals    int     // total recorded intervals across processors
+	Barriers     uint64  // barrier episodes released
+	IPC          float64 // aggregate committed instructions per cycle
+}
+
+// Run drives all threads to completion and returns the run summary.
+func (m *Machine) Run() (Summary, error) {
+	for {
+		p := m.pickRunnable()
+		if p == nil {
+			if m.allDone() {
+				break
+			}
+			if m.allBlocked() {
+				m.releaseBarrier()
+				continue
+			}
+			return Summary{}, fmt.Errorf("machine: deadlock — no runnable processor, not all at barrier")
+		}
+		if err := m.step(p); err != nil {
+			return Summary{}, err
+		}
+	}
+	var s Summary
+	for _, p := range m.procs {
+		s.Instructions += p.totalInstrs
+		s.SyncInstrs += p.totalSync
+		s.Intervals += len(p.records)
+		if p.clock > s.Cycles {
+			s.Cycles = p.clock
+		}
+	}
+	s.Barriers = m.barriers
+	if s.Cycles > 0 {
+		s.IPC = float64(s.Instructions) / s.Cycles
+	}
+	return s, nil
+}
+
+// pickRunnable returns the runnable processor with the smallest clock
+// (ties broken by processor ID for determinism), or nil.
+func (m *Machine) pickRunnable() *proc {
+	var best *proc
+	for _, p := range m.procs {
+		if p.done || p.atBarrier {
+			continue
+		}
+		if best == nil || p.clock < best.clock {
+			best = p
+		}
+	}
+	return best
+}
+
+func (m *Machine) allDone() bool {
+	for _, p := range m.procs {
+		if !p.done {
+			return false
+		}
+	}
+	return true
+}
+
+// allBlocked reports whether every live processor is waiting at the
+// barrier (finished processors count as arrived).
+func (m *Machine) allBlocked() bool {
+	arrived := false
+	for _, p := range m.procs {
+		if p.done {
+			continue
+		}
+		if !p.atBarrier {
+			return false
+		}
+		arrived = true
+	}
+	return arrived
+}
+
+// releaseBarrier opens the barrier: all waiting processors resume at the
+// latest arrival time plus the barrier overhead. The wait cycles accrue
+// to each processor's clock — and therefore to its interval CPI — which
+// is how load imbalance becomes visible to the phase detectors.
+func (m *Machine) releaseBarrier() {
+	var latest float64
+	for _, p := range m.procs {
+		if p.atBarrier && p.clock > latest {
+			latest = p.clock
+		}
+	}
+	release := latest + m.cfg.BarrierCycles
+	for _, p := range m.procs {
+		if p.atBarrier {
+			p.clock = release
+			p.atBarrier = false
+		}
+	}
+	m.barriers++
+}
+
+// step commits one instruction on p.
+func (m *Machine) step(p *proc) error {
+	if p.pos >= len(p.buf) {
+		// Refill; a thread may legitimately emit several empty batches
+		// (e.g. skipping work items it does not own), so loop.
+		for {
+			p.emitter.Reset()
+			if !p.thread.NextBatch(p.emitter) {
+				p.done = true
+				// A partial trailing interval is dropped, matching the
+				// paper's whole-interval accounting.
+				return nil
+			}
+			if p.emitter.Len() > 0 {
+				p.buf = p.emitter.Take()
+				p.pos = 0
+				break
+			}
+		}
+	}
+	in := p.buf[p.pos]
+	p.pos++
+
+	if m.cfg.MaxInstructions > 0 && p.totalInstrs >= m.cfg.MaxInstructions {
+		return fmt.Errorf("machine: processor %d exceeded instruction budget %d", p.id, m.cfg.MaxInstructions)
+	}
+	p.totalInstrs++
+	p.wss.Touch(in.PC)
+
+	var cost float64
+	switch in.Op {
+	case isa.OpSync:
+		p.totalSync++
+		p.clock += p.model.Cost(in, 0)
+		p.atBarrier = true
+		return nil
+	case isa.OpBranch:
+		cost = p.model.Cost(in, 0)
+		p.acc.Branch(in.PC)
+	case isa.OpLoad, isa.OpStore:
+		now := uint64(p.clock)
+		res := m.proto.Access(now, p.id, in.Addr, in.Op == isa.OpStore)
+		stall := float64(res.Done-now) - float64(m.cfg.L1.HitCycles)
+		if stall < 0 {
+			stall = 0
+		}
+		cost = p.model.Cost(in, stall)
+		home := m.proto.Home(in.Addr)
+		p.freq.Access(home)
+		if home == p.id {
+			p.localAcc++
+		} else {
+			p.remoteAcc++
+		}
+		p.acc.Instruction()
+	default:
+		cost = p.model.Cost(in, 0)
+		p.acc.Instruction()
+	}
+	p.clock += cost
+	p.instrs++
+	if p.instrs >= m.cfg.IntervalInstructions {
+		m.endInterval(p)
+	}
+	return nil
+}
+
+// endInterval closes processor p's sampling interval: it gathers the F_i
+// vectors from every processor (resetting them, per the protocol in the
+// paper), computes the contention vector and the DDS, snapshots the BBV
+// accumulator, and records the interval signature.
+func (m *Machine) endInterval(p *proc) {
+	n := m.cfg.Procs
+	for q := 0; q < n; q++ {
+		m.gatherVecs[q] = m.procs[q].freq.QueryAndReset(p.id, m.gatherVecs[q])
+	}
+	contention := core.SumContention(m.gatherVecs, nil)
+	raw, norm := core.ComputeDDS(p.id, m.gatherVecs[p.id], contention, m.dist, m.cfg.DDS)
+
+	if m.cfg.ChargeDDSGather && n > 1 {
+		// The exchange is n-1 request/reply pairs; the processor waits
+		// for the slowest reply (each reply carries n counters).
+		t := uint64(p.clock)
+		latest := t
+		for q := 0; q < n; q++ {
+			if q == p.id {
+				continue
+			}
+			arr := m.net.Send(t, p.id, q, m.cfg.Costs.CtrlBytes)
+			back := m.net.Send(arr, q, p.id, 8*n)
+			if back > latest {
+				latest = back
+			}
+		}
+		p.clock += float64(latest - t)
+	}
+
+	cycles := p.clock - p.intervalStart
+	bbv := p.acc.Snapshot()
+	phaseID := -1
+	if p.table != nil {
+		phaseID, _ = p.table.Classify(bbv, norm)
+	}
+	p.records = append(p.records, core.IntervalSignature{
+		Proc:           p.id,
+		Index:          p.intervalIdx,
+		BBV:            bbv,
+		WSS:            p.wss,
+		DDS:            norm,
+		RawDDS:         raw,
+		PhaseID:        phaseID,
+		Instructions:   p.instrs,
+		Cycles:         uint64(math.Round(cycles)),
+		LocalAccesses:  p.localAcc,
+		RemoteAccesses: p.remoteAcc,
+	})
+	p.acc.Reset()
+	p.wss.Reset()
+	p.instrs = 0
+	p.localAcc = 0
+	p.remoteAcc = 0
+	p.intervalStart = p.clock
+	p.intervalIdx++
+}
+
+// RecordsByProc returns the recorded interval signatures, one slice per
+// processor, in execution order.
+func (m *Machine) RecordsByProc() [][]core.IntervalSignature {
+	out := make([][]core.IntervalSignature, len(m.procs))
+	for i, p := range m.procs {
+		out[i] = p.records
+	}
+	return out
+}
+
+// Records returns all interval signatures flattened (processor-major).
+func (m *Machine) Records() []core.IntervalSignature {
+	var out []core.IntervalSignature
+	for _, p := range m.procs {
+		out = append(out, p.records...)
+	}
+	return out
+}
+
+// GshareAccuracy returns the run-wide branch prediction accuracy.
+func (m *Machine) GshareAccuracy() float64 {
+	var look, miss uint64
+	for _, p := range m.procs {
+		look += p.model.Gshare().Lookups()
+		miss += p.model.Gshare().Mispredicts()
+	}
+	if look == 0 {
+		return 1
+	}
+	return 1 - float64(miss)/float64(look)
+}

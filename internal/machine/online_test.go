@@ -1,0 +1,125 @@
+package machine
+
+import (
+	"testing"
+
+	"dsmphase/internal/core"
+	"dsmphase/internal/isa"
+)
+
+// phasedThread alternates between two code/data behaviours so the online
+// detector sees genuine phase structure.
+type phasedThread struct {
+	iters, emitted int
+	homeA, homeB   int
+	off            uint64
+}
+
+func (t *phasedThread) NextBatch(e *isa.Emitter) bool {
+	if t.emitted >= t.iters {
+		return false
+	}
+	end := t.emitted + 50
+	if end > t.iters {
+		end = t.iters
+	}
+	for ; t.emitted < end; t.emitted++ {
+		phase := (t.emitted / 200) % 2
+		if phase == 0 {
+			e.Int(0x100, 3)
+			e.Load(0x104, AddrAt(t.homeA, t.off))
+			e.LoopBranch(0x108, t.emitted, t.iters)
+		} else {
+			e.FP(0x200, 3)
+			e.Load(0x204, AddrAt(t.homeB, t.off))
+			e.LoopBranch(0x208, t.emitted, t.iters)
+		}
+		t.off += 64
+	}
+	return true
+}
+
+func onlineConfig(kind core.DetectorKind) Config {
+	cfg := DefaultConfig(2)
+	cfg.IntervalInstructions = 500
+	cfg.Online = &OnlineConfig{Kind: kind, ThBBV: 0.3, ThDDS: 0.15}
+	return cfg
+}
+
+func onlineThreads() []isa.Thread {
+	return []isa.Thread{
+		&phasedThread{iters: 4000, homeA: 0, homeB: 1},
+		&phasedThread{iters: 4000, homeA: 1, homeB: 0},
+	}
+}
+
+// TestOnlineMatchesOffline is the hardware-fidelity check: the phase IDs
+// the in-simulation detector assigns must equal what the offline replay
+// computes from the recorded signatures at the same thresholds.
+func TestOnlineMatchesOffline(t *testing.T) {
+	for _, kind := range []core.DetectorKind{core.DetectorBBV, core.DetectorBBVDDV, core.DetectorDDS} {
+		m := New(onlineConfig(kind), onlineThreads())
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for procID, recs := range m.RecordsByProc() {
+			offline := core.ClassifyRecorded(kind, m.Config().FootprintSize, 0.3, 0.15, recs)
+			for i, r := range recs {
+				if r.PhaseID != offline[i] {
+					t.Fatalf("%v proc %d interval %d: online phase %d, offline %d",
+						kind, procID, i, r.PhaseID, offline[i])
+				}
+			}
+		}
+	}
+}
+
+func TestOnlineDetectsPhaseStructure(t *testing.T) {
+	m := New(onlineConfig(core.DetectorBBV), onlineThreads())
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	recs := m.RecordsByProc()[0]
+	distinct := map[int]bool{}
+	for _, r := range recs {
+		distinct[r.PhaseID] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("alternating workload produced %d phases, want >= 2", len(distinct))
+	}
+	// Recurring phases: some phase ID must repeat non-contiguously.
+	repeats := false
+	for i := 2; i < len(recs); i++ {
+		if recs[i].PhaseID == recs[0].PhaseID && recs[i-1].PhaseID != recs[0].PhaseID {
+			repeats = true
+			break
+		}
+	}
+	if !repeats {
+		t.Error("phase 0 never recurs; detector is fragmenting")
+	}
+}
+
+func TestOfflineRecordsCarryMinusOne(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.IntervalInstructions = 500
+	m := New(cfg, onlineThreads())
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range m.Records() {
+		if r.PhaseID != -1 {
+			t.Fatalf("offline record carries phase %d, want -1", r.PhaseID)
+		}
+	}
+}
+
+func TestOnlineUnsupportedKindPanics(t *testing.T) {
+	cfg := onlineConfig(core.DetectorWSS)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for WSS online (not implemented in the machine)")
+		}
+	}()
+	New(cfg, onlineThreads())
+}

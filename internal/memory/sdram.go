@@ -1,0 +1,87 @@
+// Package memory models the per-node SDRAM of the paper's Table I:
+// interleaved banks, 75 ns access latency, 2.6 GB/s peak bandwidth.
+// Timing is in processor cycles (2 GHz core: 1 cycle = 0.5 ns).
+package memory
+
+// Config holds SDRAM timing parameters in processor cycles.
+type Config struct {
+	// AccessCycles is the fixed access latency (75 ns @ 2 GHz = 150).
+	AccessCycles uint64
+	// LineOccupancyCycles is the bank busy time per cache-line transfer,
+	// derived from the 2.6 GB/s bandwidth: 32 B / 2.6 GB/s ≈ 12.3 ns ≈
+	// 25 cycles.
+	LineOccupancyCycles uint64
+	// Banks is the number of interleaved banks per node.
+	Banks int
+	// LineBytes is the transfer granularity (32 B in Table I).
+	LineBytes int
+}
+
+// DefaultConfig returns the Table I SDRAM parameters for a 2 GHz core.
+func DefaultConfig() Config {
+	return Config{AccessCycles: 150, LineOccupancyCycles: 25, Banks: 4, LineBytes: 32}
+}
+
+// Stats aggregates memory activity for one node.
+type Stats struct {
+	Reads       uint64
+	Writes      uint64
+	QueueCycles uint64 // cycles requests spent waiting for a busy bank
+}
+
+// SDRAM is one node's memory controller and interleaved banks.
+type SDRAM struct {
+	cfg  Config
+	busy []uint64 // per-bank busy-until
+	st   Stats
+}
+
+// New returns an SDRAM model. Banks must be positive.
+func New(cfg Config) *SDRAM {
+	if cfg.Banks <= 0 {
+		panic("memory: bank count must be positive")
+	}
+	if cfg.LineBytes <= 0 {
+		panic("memory: line size must be positive")
+	}
+	return &SDRAM{cfg: cfg, busy: make([]uint64, cfg.Banks)}
+}
+
+// bank selects the interleaved bank for a line address.
+func (m *SDRAM) bank(addr uint64) int {
+	line := addr / uint64(m.cfg.LineBytes)
+	return int(line % uint64(m.cfg.Banks))
+}
+
+// Read services a line read beginning at time now and returns the data-
+// ready time. Contention for the line's bank delays service.
+func (m *SDRAM) Read(now uint64, addr uint64) uint64 {
+	m.st.Reads++
+	return m.access(now, addr)
+}
+
+// Write services a line writeback beginning at time now and returns the
+// completion time. Writes occupy the bank like reads; callers that model
+// posted writes may ignore the returned time (occupancy still accrues,
+// delaying later accesses to the same bank).
+func (m *SDRAM) Write(now uint64, addr uint64) uint64 {
+	m.st.Writes++
+	return m.access(now, addr)
+}
+
+func (m *SDRAM) access(now uint64, addr uint64) uint64 {
+	b := m.bank(addr)
+	start := now
+	if m.busy[b] > start {
+		m.st.QueueCycles += m.busy[b] - start
+		start = m.busy[b]
+	}
+	m.busy[b] = start + m.cfg.LineOccupancyCycles
+	return start + m.cfg.AccessCycles
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (m *SDRAM) Stats() Stats { return m.st }
+
+// ResetStats zeroes the statistics; bank busy state is preserved.
+func (m *SDRAM) ResetStats() { m.st = Stats{} }

@@ -1,0 +1,108 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadLatency(t *testing.T) {
+	m := New(DefaultConfig())
+	if got := m.Read(1000, 0x40); got != 1000+150 {
+		t.Errorf("read completes at %d, want 1150", got)
+	}
+}
+
+func TestBankInterleaving(t *testing.T) {
+	cfg := DefaultConfig() // 4 banks, 32B lines
+	m := New(cfg)
+	// Lines 0,1,2,3 map to distinct banks: no queueing.
+	for i := uint64(0); i < 4; i++ {
+		if got := m.Read(0, i*32); got != 150 {
+			t.Errorf("line %d completes at %d, want 150", i, got)
+		}
+	}
+	if m.Stats().QueueCycles != 0 {
+		t.Error("distinct banks must not queue")
+	}
+	// A fifth access to line 4 hits bank 0 again, queued behind line 0.
+	if got := m.Read(0, 4*32); got != 25+150 {
+		t.Errorf("queued read completes at %d, want 175", got)
+	}
+	if m.Stats().QueueCycles != 25 {
+		t.Errorf("queue cycles = %d, want 25", m.Stats().QueueCycles)
+	}
+}
+
+func TestSameBankBackToBack(t *testing.T) {
+	m := New(DefaultConfig())
+	a := m.Read(0, 0)
+	b := m.Read(0, 0) // same line, same bank
+	if b-a != 25 {
+		t.Errorf("second access delayed by %d, want one occupancy (25)", b-a)
+	}
+}
+
+func TestWriteOccupiesBank(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Write(0, 0)
+	got := m.Read(0, 0)
+	if got != 25+150 {
+		t.Errorf("read after write completes at %d, want 175", got)
+	}
+	s := m.Stats()
+	if s.Reads != 1 || s.Writes != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Banks: 0, LineBytes: 32},
+		{Banks: 4, LineBytes: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) should panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Read(0, 0)
+	m.ResetStats()
+	if m.Stats() != (Stats{}) {
+		t.Error("stats not cleared")
+	}
+}
+
+// Property: completion time is never earlier than now + AccessCycles and
+// repeated accesses to one bank are serialized by at least the occupancy.
+func TestAccessMonotoneProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg)
+	last := make(map[int]uint64) // bank -> last start-derived completion
+	now := uint64(0)
+	f := func(dt uint8, lineR uint16) bool {
+		now += uint64(dt)
+		addr := uint64(lineR) * 32
+		got := m.Read(now, addr)
+		if got < now+cfg.AccessCycles {
+			return false
+		}
+		b := int((addr / 32) % uint64(cfg.Banks))
+		if prev, ok := last[b]; ok && got < prev {
+			// completions on one bank may not go backward
+			return false
+		}
+		last[b] = got
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

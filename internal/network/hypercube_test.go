@@ -1,0 +1,164 @@
+package network
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		h := New(n, DefaultConfig())
+		if h.Nodes() != n {
+			t.Errorf("Nodes = %d, want %d", h.Nodes(), n)
+		}
+		if 1<<h.Dimension() != n {
+			t.Errorf("Dimension = %d for n=%d", h.Dimension(), n)
+		}
+	}
+}
+
+func TestNewInvalidSizePanics(t *testing.T) {
+	for _, n := range []int{0, 3, 6, -4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) should panic", n)
+				}
+			}()
+			New(n, DefaultConfig())
+		}()
+	}
+}
+
+func TestHopsIsHammingDistance(t *testing.T) {
+	h := New(32, DefaultConfig())
+	f := func(a, b uint8) bool {
+		i, j := int(a%32), int(b%32)
+		return h.Hops(i, j) == bits.OnesCount(uint(i^j))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlits(t *testing.T) {
+	h := New(2, DefaultConfig()) // 8-byte flits
+	cases := map[int]int{0: 1, 1: 1, 8: 1, 9: 2, 32: 4, 33: 5}
+	for bytes, want := range cases {
+		if got := h.Flits(bytes); got != want {
+			t.Errorf("Flits(%d) = %d, want %d", bytes, got, want)
+		}
+	}
+}
+
+func TestSendSelfIsFree(t *testing.T) {
+	h := New(8, DefaultConfig())
+	if got := h.Send(100, 3, 3, 64); got != 100 {
+		t.Errorf("self-send arrival = %d, want 100", got)
+	}
+	if h.Stats().Messages != 0 {
+		t.Error("self-send must not count as a message")
+	}
+}
+
+func TestSendUncontendedMatchesFormula(t *testing.T) {
+	cfg := DefaultConfig()
+	h := New(32, cfg)
+	// 0 -> 31 is 5 hops.
+	arr := h.Send(0, 0, 31, 32) // 4 flits
+	want := h.UncontendedLatency(0, 31, 32)
+	if arr != want {
+		t.Errorf("arrival = %d, want %d", arr, want)
+	}
+	if h.Stats().TotalHops != 5 {
+		t.Errorf("hops = %d, want 5", h.Stats().TotalHops)
+	}
+}
+
+func TestSendContentionQueues(t *testing.T) {
+	cfg := DefaultConfig()
+	h := New(2, cfg)
+	// Two messages at the same instant over the same link: the second
+	// must depart after the first's serialization time.
+	a1 := h.Send(0, 0, 1, 32)
+	a2 := h.Send(0, 0, 1, 32)
+	if a2 <= a1 {
+		t.Errorf("second message (%d) must arrive after first (%d)", a2, a1)
+	}
+	serial := uint64(h.Flits(32)) * cfg.FlitCycles
+	if a2-a1 != serial {
+		t.Errorf("queueing delay = %d, want one serialization time %d", a2-a1, serial)
+	}
+	if h.Stats().QueueCycles == 0 {
+		t.Error("queue cycles must be recorded")
+	}
+}
+
+func TestSendDisjointPathsDontInterfere(t *testing.T) {
+	h := New(4, DefaultConfig())
+	// 0->1 uses dim-0 link at node 0; 2->3 uses dim-0 link at node 2.
+	a1 := h.Send(0, 0, 1, 8)
+	a2 := h.Send(0, 2, 3, 8)
+	if a1 != a2 {
+		t.Errorf("disjoint messages must have equal latency: %d vs %d", a1, a2)
+	}
+	if h.Stats().QueueCycles != 0 {
+		t.Error("no queueing expected on disjoint paths")
+	}
+}
+
+func TestSendDeterministic(t *testing.T) {
+	run := func() []uint64 {
+		h := New(8, DefaultConfig())
+		var out []uint64
+		for i := 0; i < 50; i++ {
+			out = append(out, h.Send(uint64(i), i%8, (i*3+1)%8, 32))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: arrival time is never before the uncontended latency and the
+// network never travels backward in time.
+func TestSendLowerBoundProperty(t *testing.T) {
+	h := New(16, DefaultConfig())
+	now := uint64(0)
+	f := func(srcR, dstR uint8, bytesR uint16, dt uint8) bool {
+		now += uint64(dt)
+		src, dst := int(srcR%16), int(dstR%16)
+		bytes := int(bytesR % 256)
+		arr := h.Send(now, src, dst, bytes)
+		return arr >= now+h.UncontendedLatency(src, dst, bytes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	h := New(2, DefaultConfig())
+	h.Send(0, 0, 1, 8)
+	h.ResetStats()
+	if h.Stats() != (Stats{}) {
+		t.Error("stats not cleared")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	h := New(4, DefaultConfig())
+	h.Send(0, 0, 3, 40) // 2 hops, 5 flits
+	s := h.Stats()
+	if s.Messages != 1 || s.Bytes != 40 || s.TotalHops != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.TotalLatency == 0 {
+		t.Error("latency must be recorded")
+	}
+}

@@ -1,0 +1,141 @@
+package network
+
+// Mesh2D is a 2-D mesh with XY dimension-order wormhole routing — the
+// ablation topology. Node counts must allow a near-square factorization
+// into powers of two (any power-of-two count works: w = 2^ceil(d/2),
+// h = n/w).
+type Mesh2D struct {
+	cfg   Config
+	n     int
+	w, h  int
+	busy  map[linkKey]uint64
+	stats Stats
+}
+
+// linkKey identifies a unidirectional mesh link by its endpoint nodes.
+type linkKey struct {
+	from, to int
+}
+
+// NewMesh2D builds a w×h mesh for n nodes (n a positive power of two).
+func NewMesh2D(n int, cfg Config) *Mesh2D {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("network: node count must be a positive power of two")
+	}
+	w := 1
+	for w*w < n {
+		w *= 2
+	}
+	h := n / w
+	if w*h != n {
+		// n is an odd power of two: w = sqrt(2n)/... adjust to w ≥ h.
+		w *= 2
+		h = n / w
+	}
+	if h == 0 {
+		w, h = n, 1
+	}
+	return &Mesh2D{cfg: cfg, n: n, w: w, h: h, busy: make(map[linkKey]uint64)}
+}
+
+// Nodes returns the node count.
+func (m *Mesh2D) Nodes() int { return m.n }
+
+// Width returns the mesh's x extent.
+func (m *Mesh2D) Width() int { return m.w }
+
+// Height returns the mesh's y extent.
+func (m *Mesh2D) Height() int { return m.h }
+
+func (m *Mesh2D) coord(i int) (x, y int) { return i % m.w, i / m.w }
+
+// Hops returns the Manhattan distance on the mesh.
+func (m *Mesh2D) Hops(i, j int) int {
+	xi, yi := m.coord(i)
+	xj, yj := m.coord(j)
+	return abs(xi-xj) + abs(yi-yj)
+}
+
+// Diameter returns (w-1) + (h-1).
+func (m *Mesh2D) Diameter() int { return m.w - 1 + m.h - 1 }
+
+// Flits returns the flit count for a payload (≥ 1).
+func (m *Mesh2D) flits(bytes int) uint64 {
+	f := (bytes + m.cfg.FlitBytes - 1) / m.cfg.FlitBytes
+	if f < 1 {
+		f = 1
+	}
+	return uint64(f)
+}
+
+// Send routes XY (x first, then y), charging per-hop router and wire
+// latency plus serialization occupancy on every traversed link.
+func (m *Mesh2D) Send(now uint64, src, dst int, payloadBytes int) uint64 {
+	if src == dst {
+		return now
+	}
+	flits := m.flits(payloadBytes)
+	serial := flits * m.cfg.FlitCycles
+	t := now
+	cur := src
+	hops := 0
+	step := func(next int) {
+		key := linkKey{cur, next}
+		depart := t
+		if b := m.busy[key]; b > depart {
+			m.stats.QueueCycles += b - depart
+			depart = b
+		}
+		m.busy[key] = depart + serial
+		t = depart + m.cfg.RouterCycles + m.cfg.WireCycles
+		cur = next
+		hops++
+	}
+	cx, cy := m.coord(cur)
+	dx, dy := m.coord(dst)
+	for cx != dx {
+		if cx < dx {
+			step(cur + 1)
+		} else {
+			step(cur - 1)
+		}
+		cx, cy = m.coord(cur)
+	}
+	for cy != dy {
+		if cy < dy {
+			step(cur + m.w)
+		} else {
+			step(cur - m.w)
+		}
+		_, cy = m.coord(cur)
+	}
+	t += (flits - 1) * m.cfg.FlitCycles
+	m.stats.Messages++
+	m.stats.Bytes += uint64(payloadBytes)
+	m.stats.TotalLatency += t - now
+	m.stats.TotalHops += uint64(hops)
+	return t
+}
+
+// UncontendedLatency returns the idle-mesh latency.
+func (m *Mesh2D) UncontendedLatency(i, j int, payloadBytes int) uint64 {
+	if i == j {
+		return 0
+	}
+	hops := uint64(m.Hops(i, j))
+	flits := m.flits(payloadBytes)
+	return hops*(m.cfg.RouterCycles+m.cfg.WireCycles) + (flits-1)*m.cfg.FlitCycles
+}
+
+// Stats returns accumulated statistics.
+func (m *Mesh2D) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the statistics.
+func (m *Mesh2D) ResetStats() { m.stats = Stats{} }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

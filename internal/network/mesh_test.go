@@ -1,0 +1,162 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMeshFactorization(t *testing.T) {
+	want := map[int][2]int{1: {1, 1}, 2: {2, 1}, 4: {2, 2}, 8: {4, 2}, 16: {4, 4}, 32: {8, 4}, 64: {8, 8}}
+	for n, wh := range want {
+		m := NewMesh2D(n, DefaultConfig())
+		if m.Width() != wh[0] || m.Height() != wh[1] {
+			t.Errorf("n=%d: %dx%d, want %dx%d", n, m.Width(), m.Height(), wh[0], wh[1])
+		}
+		if m.Nodes() != n {
+			t.Errorf("n=%d: Nodes = %d", n, m.Nodes())
+		}
+	}
+}
+
+func TestMeshInvalidSizePanics(t *testing.T) {
+	for _, n := range []int{0, 3, 12, -2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMesh2D(%d) should panic", n)
+				}
+			}()
+			NewMesh2D(n, DefaultConfig())
+		}()
+	}
+}
+
+func TestMeshHopsManhattan(t *testing.T) {
+	m := NewMesh2D(16, DefaultConfig()) // 4×4
+	// Node 0 = (0,0), node 15 = (3,3): 6 hops.
+	if got := m.Hops(0, 15); got != 6 {
+		t.Errorf("Hops(0,15) = %d, want 6", got)
+	}
+	if got := m.Hops(5, 6); got != 1 {
+		t.Errorf("Hops(5,6) = %d, want 1", got)
+	}
+	if m.Diameter() != 6 {
+		t.Errorf("Diameter = %d, want 6", m.Diameter())
+	}
+}
+
+func TestMeshHopsSymmetric(t *testing.T) {
+	m := NewMesh2D(32, DefaultConfig())
+	f := func(a, b uint8) bool {
+		i, j := int(a%32), int(b%32)
+		return m.Hops(i, j) == m.Hops(j, i) && m.Hops(i, i) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeshSendMatchesFormula(t *testing.T) {
+	m := NewMesh2D(16, DefaultConfig())
+	arr := m.Send(0, 0, 15, 32)
+	if arr != m.UncontendedLatency(0, 15, 32) {
+		t.Errorf("arrival %d != uncontended %d", arr, m.UncontendedLatency(0, 15, 32))
+	}
+	if m.Stats().TotalHops != 6 {
+		t.Errorf("hops = %d", m.Stats().TotalHops)
+	}
+}
+
+func TestMeshSelfSendFree(t *testing.T) {
+	m := NewMesh2D(4, DefaultConfig())
+	if got := m.Send(42, 2, 2, 64); got != 42 {
+		t.Errorf("self send = %d", got)
+	}
+	if m.UncontendedLatency(1, 1, 64) != 0 {
+		t.Error("self latency must be 0")
+	}
+}
+
+func TestMeshContention(t *testing.T) {
+	cfg := DefaultConfig()
+	m := NewMesh2D(4, cfg)
+	a1 := m.Send(0, 0, 1, 32)
+	a2 := m.Send(0, 0, 1, 32)
+	serial := m.flits(32) * cfg.FlitCycles
+	if a2-a1 != serial {
+		t.Errorf("queueing delay = %d, want %d", a2-a1, serial)
+	}
+}
+
+func TestMeshXYRoutingShareLinks(t *testing.T) {
+	// In a 4×4 mesh, 0->3 and 0->1 share the 0->1 link under XY routing.
+	m := NewMesh2D(16, DefaultConfig())
+	m.Send(0, 0, 3, 32)
+	m.Send(0, 0, 1, 32)
+	if m.Stats().QueueCycles == 0 {
+		t.Error("XY routes through a shared first link must queue")
+	}
+}
+
+func TestMeshDiameterExceedsHypercube(t *testing.T) {
+	// The ablation point: a mesh has longer worst-case distances, so the
+	// DDV's distance matrix sees a wider dynamic range.
+	for _, n := range []int{16, 32, 64} {
+		mesh := NewMesh2D(n, DefaultConfig())
+		cube := New(n, DefaultConfig())
+		if mesh.Diameter() <= cube.Diameter() {
+			t.Errorf("n=%d: mesh diameter %d should exceed hypercube %d",
+				n, mesh.Diameter(), cube.Diameter())
+		}
+	}
+}
+
+func TestNewTopologyDispatch(t *testing.T) {
+	if _, ok := NewTopology(KindHypercube, 8, DefaultConfig()).(*Hypercube); !ok {
+		t.Error("KindHypercube must build a hypercube")
+	}
+	if _, ok := NewTopology("", 8, DefaultConfig()).(*Hypercube); !ok {
+		t.Error("empty kind must default to hypercube")
+	}
+	if _, ok := NewTopology(KindMesh2D, 8, DefaultConfig()).(*Mesh2D); !ok {
+		t.Error("KindMesh2D must build a mesh")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown kind must panic")
+		}
+	}()
+	NewTopology("torus", 8, DefaultConfig())
+}
+
+func TestMeshDeterministic(t *testing.T) {
+	run := func() []uint64 {
+		m := NewMesh2D(16, DefaultConfig())
+		var out []uint64
+		for i := 0; i < 60; i++ {
+			out = append(out, m.Send(uint64(i), i%16, (i*5+3)%16, 40))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+// Property: mesh arrivals respect the uncontended lower bound.
+func TestMeshLowerBoundProperty(t *testing.T) {
+	m := NewMesh2D(16, DefaultConfig())
+	now := uint64(0)
+	f := func(srcR, dstR uint8, bytesR uint16, dt uint8) bool {
+		now += uint64(dt)
+		src, dst := int(srcR%16), int(dstR%16)
+		bytes := int(bytesR % 256)
+		return m.Send(now, src, dst, bytes) >= now+m.UncontendedLatency(src, dst, bytes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

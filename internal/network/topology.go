@@ -1,0 +1,52 @@
+package network
+
+// Topology is the interconnect abstraction the coherence protocol and
+// machine are written against. The paper's system uses a hypercube
+// (Table I); a 2-D mesh is provided as an ablation, since the DDV's
+// distance matrix D is explicitly topology-programmable.
+type Topology interface {
+	// Nodes returns the node count.
+	Nodes() int
+	// Hops returns the routing distance between two nodes.
+	Hops(i, j int) int
+	// Diameter returns the maximum hop count between any node pair.
+	Diameter() int
+	// Send injects a message at time now and returns its arrival time,
+	// accounting for link contention.
+	Send(now uint64, src, dst int, payloadBytes int) uint64
+	// UncontendedLatency returns the idle-network latency between two
+	// nodes for a payload.
+	UncontendedLatency(i, j int, payloadBytes int) uint64
+	// Stats returns accumulated traffic statistics.
+	Stats() Stats
+	// ResetStats zeroes the statistics.
+	ResetStats()
+}
+
+// Compile-time interface checks.
+var (
+	_ Topology = (*Hypercube)(nil)
+	_ Topology = (*Mesh2D)(nil)
+)
+
+// Kind names a topology for configuration.
+type Kind string
+
+const (
+	// KindHypercube is the paper's Table I network.
+	KindHypercube Kind = "hypercube"
+	// KindMesh2D is the ablation topology.
+	KindMesh2D Kind = "mesh"
+)
+
+// NewTopology constructs the named topology.
+func NewTopology(kind Kind, n int, cfg Config) Topology {
+	switch kind {
+	case "", KindHypercube:
+		return New(n, cfg)
+	case KindMesh2D:
+		return NewMesh2D(n, cfg)
+	default:
+		panic("network: unknown topology kind " + string(kind))
+	}
+}

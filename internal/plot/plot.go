@@ -1,0 +1,160 @@
+// Package plot renders CoV curves as ASCII charts, reproducing the
+// paper's figure presentation (CoV on a logarithmic y axis against the
+// number of phases) directly in a terminal.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one chart point.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named, marked point set.
+type Series struct {
+	Name   string
+	Marker byte
+	Points []Point
+}
+
+// Chart is an ASCII chart. Zero value is not usable; construct with New.
+type Chart struct {
+	width, height int
+	logY          bool
+	series        []Series
+	title         string
+	xLabel        string
+	yLabel        string
+}
+
+// DefaultMarkers are assigned to series in order when none is given.
+const DefaultMarkers = "*o+x#@%&"
+
+// New returns a chart with the given plot-area size in characters.
+func New(width, height int) *Chart {
+	if width < 16 || height < 4 {
+		panic("plot: chart area too small")
+	}
+	return &Chart{width: width, height: height}
+}
+
+// Title sets the chart title.
+func (c *Chart) Title(t string) *Chart { c.title = t; return c }
+
+// LogY switches the y axis to log scale (the paper's presentation).
+func (c *Chart) LogY() *Chart { c.logY = true; return c }
+
+// Labels sets the axis labels.
+func (c *Chart) Labels(x, y string) *Chart { c.xLabel, c.yLabel = x, y; return c }
+
+// Add appends a series; a marker is assigned automatically.
+func (c *Chart) Add(name string, pts []Point) *Chart {
+	m := DefaultMarkers[len(c.series)%len(DefaultMarkers)]
+	c.series = append(c.series, Series{Name: name, Marker: m, Points: pts})
+	return c
+}
+
+// bounds computes the data extent across all series, padding degenerate
+// ranges.
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, ok bool) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.series {
+		for _, p := range s.Points {
+			if c.logY && p.Y <= 0 {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, p.X), math.Max(xmax, p.X)
+			ymin, ymax = math.Min(ymin, p.Y), math.Max(ymax, p.Y)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return 0, 0, 0, 0, false
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin * 2
+		if ymax == 0 {
+			ymax = 1
+		}
+	}
+	return xmin, xmax, ymin, ymax, true
+}
+
+func (c *Chart) yTransform(y, ymin, ymax float64) float64 {
+	if c.logY {
+		return (math.Log10(y) - math.Log10(ymin)) / (math.Log10(ymax) - math.Log10(ymin))
+	}
+	return (y - ymin) / (ymax - ymin)
+}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	var b strings.Builder
+	if c.title != "" {
+		fmt.Fprintf(&b, "%s\n", c.title)
+	}
+	xmin, xmax, ymin, ymax, ok := c.bounds()
+	if !ok {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	grid := make([][]byte, c.height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", c.width))
+	}
+	for _, s := range c.series {
+		for _, p := range s.Points {
+			if c.logY && p.Y <= 0 {
+				continue
+			}
+			fx := (p.X - xmin) / (xmax - xmin)
+			fy := c.yTransform(p.Y, ymin, ymax)
+			col := int(math.Round(fx * float64(c.width-1)))
+			row := c.height - 1 - int(math.Round(fy*float64(c.height-1)))
+			if col >= 0 && col < c.width && row >= 0 && row < c.height {
+				grid[row][col] = s.Marker
+			}
+		}
+	}
+	// y-axis tick labels at top, middle, bottom.
+	yTick := func(frac float64) float64 {
+		if c.logY {
+			return math.Pow(10, math.Log10(ymin)+frac*(math.Log10(ymax)-math.Log10(ymin)))
+		}
+		return ymin + frac*(ymax-ymin)
+	}
+	for row := 0; row < c.height; row++ {
+		label := "        "
+		switch row {
+		case 0:
+			label = fmt.Sprintf("%8.3g", yTick(1))
+		case c.height / 2:
+			label = fmt.Sprintf("%8.3g", yTick(0.5))
+		case c.height - 1:
+			label = fmt.Sprintf("%8.3g", yTick(0))
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[row]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", c.width))
+	fmt.Fprintf(&b, "%s  %-*.3g%*.3g\n", strings.Repeat(" ", 8), c.width/2, xmin, c.width-c.width/2, xmax)
+	if c.xLabel != "" || c.yLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s, y: %s%s\n", strings.Repeat(" ", 8), c.xLabel, c.yLabel,
+			map[bool]string{true: " (log)", false: ""}[c.logY])
+	}
+	// Legend (stable order).
+	names := make([]string, 0, len(c.series))
+	for _, s := range c.series {
+		names = append(names, fmt.Sprintf("%c %s", s.Marker, s.Name))
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "%s  legend: %s\n", strings.Repeat(" ", 8), strings.Join(names, "   "))
+	return b.String()
+}

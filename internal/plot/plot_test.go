@@ -1,0 +1,84 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	c := New(40, 10).Title("test chart").Labels("phases", "CoV")
+	c.Add("a", []Point{{1, 0.1}, {5, 0.5}, {10, 1.0}})
+	out := c.Render()
+	for _, want := range []string{"test chart", "legend:", "* a", "x: phases", "y: CoV"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("marker not plotted")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := New(40, 10).Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart: %q", out)
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	c := New(40, 12).LogY()
+	c.Add("curve", []Point{{1, 0.01}, {10, 0.1}, {20, 1.0}})
+	out := c.Render()
+	if !strings.Contains(out, "(log)") && !strings.Contains(out, "0.01") {
+		t.Errorf("log chart missing annotations:\n%s", out)
+	}
+	// On a log axis 0.01 -> 0.1 -> 1.0 are equally spaced: the three
+	// markers should appear on distinct rows spanning the chart.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		// Plot-area rows contain the axis bar; the legend line does not.
+		if strings.Contains(line, "|") && strings.Contains(line, "*") {
+			rows++
+		}
+	}
+	if rows != 3 {
+		t.Errorf("markers on %d rows, want 3:\n%s", rows, out)
+	}
+}
+
+func TestRenderLogYDropsNonPositive(t *testing.T) {
+	c := New(40, 8).LogY()
+	c.Add("a", []Point{{1, 0}, {2, 0.5}, {3, 1}})
+	out := c.Render()
+	if strings.Contains(out, "(no data)") {
+		t.Error("positive points must still render")
+	}
+}
+
+func TestMultipleSeriesDistinctMarkers(t *testing.T) {
+	c := New(40, 8)
+	c.Add("one", []Point{{1, 1}})
+	c.Add("two", []Point{{2, 2}})
+	out := c.Render()
+	if !strings.Contains(out, "* one") || !strings.Contains(out, "o two") {
+		t.Errorf("legend markers wrong:\n%s", out)
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	// Single point and constant series must not divide by zero.
+	out := New(20, 4).Add("p", []Point{{3, 0.5}}).Render()
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("degenerate range produced NaN/Inf:\n%s", out)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(4, 1)
+}

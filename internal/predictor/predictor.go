@@ -1,0 +1,166 @@
+// Package predictor implements the phase predictors the paper names as
+// the next pipeline stage ("this information is passed to a phase
+// predictor, which infers the phase for the next sampling interval") and
+// as future work. Three standard predictors are provided:
+//
+//   - LastPhase: predicts the next interval repeats the current phase.
+//   - Markov: first-order transition table with per-state counters.
+//   - RunLength: (phase, observed run length) indexed table, the
+//     structure Sherwood et al. used for phase prediction.
+package predictor
+
+// Predictor forecasts the next interval's phase ID from the observed
+// phase sequence.
+type Predictor interface {
+	// Predict returns the forecast for the next interval.
+	Predict() int
+	// Observe reports the actual phase of the interval that just ended.
+	Observe(phase int)
+	// Name identifies the predictor in reports.
+	Name() string
+}
+
+// Accuracy replays a phase sequence through a predictor and returns the
+// fraction of correct next-phase predictions (the first interval is not
+// scored — there is nothing to predict from).
+func Accuracy(p Predictor, phases []int) float64 {
+	if len(phases) < 2 {
+		return 1
+	}
+	correct := 0
+	p.Observe(phases[0])
+	for _, actual := range phases[1:] {
+		if p.Predict() == actual {
+			correct++
+		}
+		p.Observe(actual)
+	}
+	return float64(correct) / float64(len(phases)-1)
+}
+
+// LastPhase predicts the current phase persists.
+type LastPhase struct {
+	last int
+}
+
+// NewLastPhase returns a last-value predictor.
+func NewLastPhase() *LastPhase { return &LastPhase{last: -1} }
+
+// Name implements Predictor.
+func (p *LastPhase) Name() string { return "last-phase" }
+
+// Predict implements Predictor.
+func (p *LastPhase) Predict() int { return p.last }
+
+// Observe implements Predictor.
+func (p *LastPhase) Observe(phase int) { p.last = phase }
+
+// Markov is a first-order Markov predictor: for each phase it counts the
+// successor phases seen and predicts the most frequent one, falling back
+// to last-phase for unseen states.
+type Markov struct {
+	last  int
+	table map[int]map[int]int
+}
+
+// NewMarkov returns an empty Markov predictor.
+func NewMarkov() *Markov {
+	return &Markov{last: -1, table: make(map[int]map[int]int)}
+}
+
+// Name implements Predictor.
+func (p *Markov) Name() string { return "markov" }
+
+// Predict implements Predictor.
+func (p *Markov) Predict() int {
+	succ := p.table[p.last]
+	best, bestCount := p.last, 0
+	for phase, count := range succ {
+		if count > bestCount || (count == bestCount && phase < best) {
+			best, bestCount = phase, count
+		}
+	}
+	return best
+}
+
+// Observe implements Predictor.
+func (p *Markov) Observe(phase int) {
+	if p.last >= 0 {
+		succ := p.table[p.last]
+		if succ == nil {
+			succ = make(map[int]int)
+			p.table[p.last] = succ
+		}
+		succ[phase]++
+	}
+	p.last = phase
+}
+
+// RunLength predicts using (phase, run length) pairs: it learns what
+// follows a run of k consecutive intervals of phase q, which captures
+// periodic phase patterns that pure Markov prediction conflates.
+type RunLength struct {
+	last     int
+	run      int
+	maxRun   int
+	table    map[runKey]map[int]int
+	fallback *Markov
+}
+
+type runKey struct {
+	phase, run int
+}
+
+// NewRunLength returns a run-length predictor; runs longer than maxRun
+// are saturated (maxRun ≤ 0 selects 64).
+func NewRunLength(maxRun int) *RunLength {
+	if maxRun <= 0 {
+		maxRun = 64
+	}
+	return &RunLength{
+		last:     -1,
+		maxRun:   maxRun,
+		table:    make(map[runKey]map[int]int),
+		fallback: NewMarkov(),
+	}
+}
+
+// Name implements Predictor.
+func (p *RunLength) Name() string { return "run-length" }
+
+// Predict implements Predictor.
+func (p *RunLength) Predict() int {
+	succ := p.table[runKey{p.last, p.run}]
+	best, bestCount := -1, 0
+	for phase, count := range succ {
+		if count > bestCount || (count == bestCount && phase < best) {
+			best, bestCount = phase, count
+		}
+	}
+	if bestCount == 0 {
+		return p.fallback.Predict()
+	}
+	return best
+}
+
+// Observe implements Predictor.
+func (p *RunLength) Observe(phase int) {
+	if p.last >= 0 {
+		key := runKey{p.last, p.run}
+		succ := p.table[key]
+		if succ == nil {
+			succ = make(map[int]int)
+			p.table[key] = succ
+		}
+		succ[phase]++
+	}
+	if phase == p.last {
+		if p.run < p.maxRun {
+			p.run++
+		}
+	} else {
+		p.run = 1
+	}
+	p.fallback.Observe(phase)
+	p.last = phase
+}

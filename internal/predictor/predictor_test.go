@@ -1,0 +1,129 @@
+package predictor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func repeat(pattern []int, times int) []int {
+	out := make([]int, 0, len(pattern)*times)
+	for i := 0; i < times; i++ {
+		out = append(out, pattern...)
+	}
+	return out
+}
+
+func TestNames(t *testing.T) {
+	for _, p := range []Predictor{NewLastPhase(), NewMarkov(), NewRunLength(0)} {
+		if p.Name() == "" {
+			t.Error("predictor must have a name")
+		}
+	}
+}
+
+func TestAccuracyTrivial(t *testing.T) {
+	if got := Accuracy(NewLastPhase(), nil); got != 1 {
+		t.Errorf("empty sequence accuracy = %v", got)
+	}
+	if got := Accuracy(NewLastPhase(), []int{3}); got != 1 {
+		t.Errorf("single-element accuracy = %v", got)
+	}
+}
+
+func TestLastPhaseOnConstantSequence(t *testing.T) {
+	seq := repeat([]int{5}, 100)
+	if got := Accuracy(NewLastPhase(), seq); got != 1 {
+		t.Errorf("constant sequence accuracy = %v, want 1", got)
+	}
+}
+
+func TestLastPhaseOnAlternatingSequence(t *testing.T) {
+	seq := repeat([]int{0, 1}, 50)
+	if got := Accuracy(NewLastPhase(), seq); got != 0 {
+		t.Errorf("alternating accuracy = %v, want 0 (always wrong)", got)
+	}
+}
+
+func TestMarkovLearnsAlternation(t *testing.T) {
+	seq := repeat([]int{0, 1}, 50)
+	got := Accuracy(NewMarkov(), seq)
+	// After the first cycle the transitions 0->1 and 1->0 dominate.
+	if got < 0.9 {
+		t.Errorf("markov on alternating = %v, want > 0.9", got)
+	}
+}
+
+func TestMarkovBeatsLastPhaseOnCycles(t *testing.T) {
+	seq := repeat([]int{0, 1, 2}, 40)
+	lp := Accuracy(NewLastPhase(), seq)
+	mk := Accuracy(NewMarkov(), seq)
+	if mk <= lp {
+		t.Errorf("markov (%v) must beat last-phase (%v) on a 3-cycle", mk, lp)
+	}
+}
+
+func TestRunLengthLearnsCountedRuns(t *testing.T) {
+	// Pattern: 3×A then 1×B — Markov at state A mostly predicts A and
+	// always misses the A->B transition; run-length nails it.
+	seq := repeat([]int{0, 0, 0, 1}, 50)
+	rl := Accuracy(NewRunLength(8), seq)
+	mk := Accuracy(NewMarkov(), seq)
+	if rl <= mk {
+		t.Errorf("run-length (%v) must beat markov (%v) on counted runs", rl, mk)
+	}
+	if rl < 0.9 {
+		t.Errorf("run-length accuracy = %v, want > 0.9", rl)
+	}
+}
+
+func TestRunLengthSaturation(t *testing.T) {
+	// Runs longer than maxRun share a table entry; the predictor must
+	// still behave sanely (predict continuation mid-run).
+	p := NewRunLength(2)
+	seq := repeat([]int{7}, 100)
+	if got := Accuracy(p, seq); got != 1 {
+		t.Errorf("saturated constant run accuracy = %v", got)
+	}
+}
+
+func TestPredictorsDeterministic(t *testing.T) {
+	f := func(raw []uint8) bool {
+		seq := make([]int, len(raw))
+		for i, r := range raw {
+			seq[i] = int(r % 5)
+		}
+		for _, mk := range []func() Predictor{
+			func() Predictor { return NewLastPhase() },
+			func() Predictor { return NewMarkov() },
+			func() Predictor { return NewRunLength(16) },
+		} {
+			if Accuracy(mk(), seq) != Accuracy(mk(), seq) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: accuracy is always in [0, 1].
+func TestAccuracyBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		seq := make([]int, len(raw))
+		for i, r := range raw {
+			seq[i] = int(r % 7)
+		}
+		for _, p := range []Predictor{NewLastPhase(), NewMarkov(), NewRunLength(8)} {
+			a := Accuracy(p, seq)
+			if a < 0 || a > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

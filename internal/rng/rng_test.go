@@ -1,0 +1,81 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same sequence")
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between different seeds", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("value %d appeared %d/10000 times (badly skewed)", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(0).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	f := func(_ uint8) bool {
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHash64Stateless(t *testing.T) {
+	if Hash64(123) != Hash64(123) {
+		t.Error("Hash64 must be pure")
+	}
+	if Hash64(123) == Hash64(124) {
+		t.Error("adjacent inputs must differ")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r Rng
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero-value generator should still produce values")
+	}
+}

@@ -1,0 +1,230 @@
+// Package stats implements the statistical machinery the paper's
+// evaluation rests on: per-phase coefficient of variation (CoV) of CPI,
+// the interval-weighted "identifier CoV", and the CoV curve — the paper's
+// proposed tool for quantifying the trade-off between phase homogeneity
+// and tuning overhead (number of phases).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs
+// (the paper's CoV is a population statistic over all intervals of a
+// phase), or 0 for fewer than one element.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// CoV returns the coefficient of variation (stddev/mean) of xs.
+// A phase with a single interval, or a zero mean, has CoV 0.
+func CoV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// IdentifierCoV computes the paper's summary metric for one processor:
+// group the per-interval CPI values by assigned phase ID, compute each
+// phase's CoV of CPI, and average the per-phase CoVs weighted by how many
+// intervals belong to each phase. It returns the weighted CoV and the
+// number of distinct phases observed.
+//
+// phases[i] is the phase ID assigned to interval i; cpis[i] is that
+// interval's CPI. The two slices must have equal length.
+func IdentifierCoV(phases []int, cpis []float64) (cov float64, numPhases int) {
+	if len(phases) != len(cpis) {
+		panic("stats: phases and cpis length mismatch")
+	}
+	if len(phases) == 0 {
+		return 0, 0
+	}
+	groups := make(map[int][]float64)
+	keys := make([]int, 0, 16)
+	for i, p := range phases {
+		if _, seen := groups[p]; !seen {
+			keys = append(keys, p)
+		}
+		groups[p] = append(groups[p], cpis[i])
+	}
+	// Sum in sorted key order: float addition is not associative, and a
+	// map-ordered sum would make the metric run-to-run nondeterministic.
+	sort.Ints(keys)
+	total := float64(len(phases))
+	var weighted float64
+	for _, p := range keys {
+		g := groups[p]
+		weighted += CoV(g) * float64(len(g)) / total
+	}
+	return weighted, len(groups)
+}
+
+// CurvePoint is one operating point of a phase detector: a threshold
+// setting yields some number of phases and some identifier CoV.
+type CurvePoint struct {
+	// Phases is the number of distinct phases the detector produced
+	// (a proxy for tuning overhead; fewer is cheaper).
+	Phases float64
+	// CoV is the identifier CoV of CPI at this operating point
+	// (smaller means more homogeneous phases).
+	CoV float64
+	// Threshold records the classification threshold that produced this
+	// point (the BBV Manhattan threshold; informational).
+	Threshold float64
+	// ThresholdDDS records the DDS threshold for two-threshold detectors
+	// (zero for BBV-only).
+	ThresholdDDS float64
+}
+
+// Curve is a CoV curve: identifier CoV as a function of the number of
+// phases, across a threshold sweep. Points are kept sorted by Phases.
+type Curve struct {
+	Points []CurvePoint
+}
+
+// LowerEnvelope reduces an arbitrary point cloud to the paper-style CoV
+// curve: for each distinct phase count, keep the point with the smallest
+// CoV, then drop points that are dominated (a point is dominated if some
+// point with fewer-or-equal phases has smaller-or-equal CoV). The result
+// is non-increasing in CoV as Phases grows, matching how the paper reads
+// its curves ("CoV achieved with k phases").
+func LowerEnvelope(pts []CurvePoint) Curve {
+	if len(pts) == 0 {
+		return Curve{}
+	}
+	best := make(map[float64]CurvePoint)
+	for _, p := range pts {
+		b, ok := best[p.Phases]
+		if !ok || p.CoV < b.CoV {
+			best[p.Phases] = p
+		}
+	}
+	out := make([]CurvePoint, 0, len(best))
+	for _, p := range best {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Phases < out[j].Phases })
+	// Enforce monotone non-increasing CoV: a detector that achieves CoV c
+	// with k phases trivially achieves ≤c with more phases available.
+	env := out[:0]
+	minSoFar := math.Inf(1)
+	for _, p := range out {
+		if p.CoV < minSoFar {
+			minSoFar = p.CoV
+			env = append(env, p)
+		}
+	}
+	return Curve{Points: append([]CurvePoint(nil), env...)}
+}
+
+// CoVAt returns the smallest CoV achievable with at most maxPhases phases,
+// or +Inf if no point on the curve uses that few phases.
+func (c Curve) CoVAt(maxPhases float64) float64 {
+	res := math.Inf(1)
+	for _, p := range c.Points {
+		if p.Phases <= maxPhases && p.CoV < res {
+			res = p.CoV
+		}
+	}
+	return res
+}
+
+// PhasesAt returns the smallest number of phases that achieves CoV at or
+// below the target, or +Inf if the curve never reaches it.
+func (c Curve) PhasesAt(targetCoV float64) float64 {
+	res := math.Inf(1)
+	for _, p := range c.Points {
+		if p.CoV <= targetCoV && p.Phases < res {
+			res = p.Phases
+		}
+	}
+	return res
+}
+
+// AverageCurves averages several per-processor curves into the
+// "system-wide CoV curve" of the paper: curves are averaged pointwise by
+// threshold index, i.e. the i-th point of every curve is assumed to come
+// from the same threshold setting, and both the phase counts and CoV
+// values are averaged. All curves must have the same length.
+func AverageCurves(curves [][]CurvePoint) []CurvePoint {
+	if len(curves) == 0 {
+		return nil
+	}
+	n := len(curves[0])
+	for _, c := range curves {
+		if len(c) != n {
+			panic("stats: AverageCurves requires equal-length point sets")
+		}
+	}
+	out := make([]CurvePoint, n)
+	for i := 0; i < n; i++ {
+		var ph, cov float64
+		for _, c := range curves {
+			ph += c[i].Phases
+			cov += c[i].CoV
+		}
+		out[i] = CurvePoint{
+			Phases:       ph / float64(len(curves)),
+			CoV:          cov / float64(len(curves)),
+			Threshold:    curves[0][i].Threshold,
+			ThresholdDDS: curves[0][i].ThresholdDDS,
+		}
+	}
+	return out
+}
+
+// GeomSpace returns n values spaced geometrically from lo to hi inclusive.
+// lo and hi must be positive and n ≥ 2. It is used to generate the
+// paper's ~200 threshold values.
+func GeomSpace(lo, hi float64, n int) []float64 {
+	if n < 2 || lo <= 0 || hi <= 0 {
+		panic("stats: GeomSpace requires n>=2 and positive bounds")
+	}
+	out := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= ratio
+	}
+	out[n-1] = hi
+	return out
+}
+
+// LinSpace returns n values spaced linearly from lo to hi inclusive.
+func LinSpace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("stats: LinSpace requires n>=2")
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}

@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); !almostEq(got, 2.5, 1e-12) {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev(nil) != 0 {
+		t.Error("StdDev(nil) != 0")
+	}
+	// Population stddev of {2,4,4,4,5,5,7,9} is exactly 2.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := StdDev(xs); !almostEq(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestCoV(t *testing.T) {
+	if CoV([]float64{5, 5, 5}) != 0 {
+		t.Error("CoV of constant series must be 0")
+	}
+	if CoV([]float64{0, 0}) != 0 {
+		t.Error("CoV with zero mean must be defined as 0")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9} // mean 5, stddev 2
+	if got := CoV(xs); !almostEq(got, 0.4, 1e-12) {
+		t.Errorf("CoV = %v, want 0.4", got)
+	}
+}
+
+func TestIdentifierCoVPerfectClassifier(t *testing.T) {
+	// Each phase has perfectly homogeneous CPI -> identifier CoV 0.
+	phases := []int{0, 0, 1, 1, 2}
+	cpis := []float64{1.0, 1.0, 2.0, 2.0, 3.5}
+	cov, n := IdentifierCoV(phases, cpis)
+	if cov != 0 {
+		t.Errorf("identifier CoV = %v, want 0", cov)
+	}
+	if n != 3 {
+		t.Errorf("numPhases = %d, want 3", n)
+	}
+}
+
+func TestIdentifierCoVSinglePhase(t *testing.T) {
+	// All intervals in one phase: identifier CoV = CoV of the whole series.
+	cpis := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	phases := make([]int, len(cpis))
+	cov, n := IdentifierCoV(phases, cpis)
+	if !almostEq(cov, 0.4, 1e-12) {
+		t.Errorf("identifier CoV = %v, want 0.4", cov)
+	}
+	if n != 1 {
+		t.Errorf("numPhases = %d, want 1", n)
+	}
+}
+
+func TestIdentifierCoVWeighting(t *testing.T) {
+	// Phase 0: 3 intervals CoV c0; phase 1: 1 interval CoV 0.
+	phases := []int{0, 0, 0, 1}
+	cpis := []float64{1, 2, 3, 10}
+	c0 := CoV([]float64{1, 2, 3})
+	want := c0 * 3 / 4
+	cov, _ := IdentifierCoV(phases, cpis)
+	if !almostEq(cov, want, 1e-12) {
+		t.Errorf("identifier CoV = %v, want %v", cov, want)
+	}
+}
+
+func TestIdentifierCoVEmpty(t *testing.T) {
+	cov, n := IdentifierCoV(nil, nil)
+	if cov != 0 || n != 0 {
+		t.Errorf("empty = (%v,%d), want (0,0)", cov, n)
+	}
+}
+
+func TestIdentifierCoVMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	IdentifierCoV([]int{1}, []float64{1, 2})
+}
+
+func TestLowerEnvelope(t *testing.T) {
+	pts := []CurvePoint{
+		{Phases: 1, CoV: 0.9},
+		{Phases: 2, CoV: 0.5},
+		{Phases: 2, CoV: 0.7}, // dominated by (2,0.5)
+		{Phases: 3, CoV: 0.6}, // dominated: 2 phases already achieve 0.5
+		{Phases: 5, CoV: 0.2},
+	}
+	env := LowerEnvelope(pts)
+	want := []CurvePoint{{Phases: 1, CoV: 0.9}, {Phases: 2, CoV: 0.5}, {Phases: 5, CoV: 0.2}}
+	if len(env.Points) != len(want) {
+		t.Fatalf("envelope has %d points, want %d: %+v", len(env.Points), len(want), env.Points)
+	}
+	for i, w := range want {
+		if env.Points[i].Phases != w.Phases || env.Points[i].CoV != w.CoV {
+			t.Errorf("point %d = %+v, want %+v", i, env.Points[i], w)
+		}
+	}
+}
+
+func TestLowerEnvelopeEmpty(t *testing.T) {
+	if env := LowerEnvelope(nil); len(env.Points) != 0 {
+		t.Error("envelope of no points must be empty")
+	}
+}
+
+// Property: the lower envelope is strictly decreasing in CoV and strictly
+// increasing in Phases, and every envelope point is drawn from the input.
+func TestLowerEnvelopeProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		pts := make([]CurvePoint, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			pts = append(pts, CurvePoint{
+				Phases: float64(raw[i]%30) + 1,
+				CoV:    float64(raw[i+1]%1000)/1000 + 0.001,
+			})
+		}
+		env := LowerEnvelope(pts).Points
+		for i := 1; i < len(env); i++ {
+			if env[i].Phases <= env[i-1].Phases || env[i].CoV >= env[i-1].CoV {
+				return false
+			}
+		}
+		in := func(q CurvePoint) bool {
+			for _, p := range pts {
+				if p.Phases == q.Phases && p.CoV == q.CoV {
+					return true
+				}
+			}
+			return false
+		}
+		for _, q := range env {
+			if !in(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCurveQueries(t *testing.T) {
+	c := Curve{Points: []CurvePoint{{Phases: 1, CoV: 0.9}, {Phases: 5, CoV: 0.3}, {Phases: 10, CoV: 0.1}}}
+	if got := c.CoVAt(5); got != 0.3 {
+		t.Errorf("CoVAt(5) = %v, want 0.3", got)
+	}
+	if got := c.CoVAt(0.5); !math.IsInf(got, 1) {
+		t.Errorf("CoVAt(0.5) = %v, want +Inf", got)
+	}
+	if got := c.PhasesAt(0.3); got != 5 {
+		t.Errorf("PhasesAt(0.3) = %v, want 5", got)
+	}
+	if got := c.PhasesAt(0.05); !math.IsInf(got, 1) {
+		t.Errorf("PhasesAt(0.05) = %v, want +Inf", got)
+	}
+}
+
+func TestAverageCurves(t *testing.T) {
+	a := []CurvePoint{{Phases: 2, CoV: 0.4, Threshold: 0.1}, {Phases: 4, CoV: 0.2, Threshold: 0.05}}
+	b := []CurvePoint{{Phases: 4, CoV: 0.6, Threshold: 0.1}, {Phases: 8, CoV: 0.4, Threshold: 0.05}}
+	avg := AverageCurves([][]CurvePoint{a, b})
+	if len(avg) != 2 {
+		t.Fatalf("len = %d, want 2", len(avg))
+	}
+	if avg[0].Phases != 3 || !almostEq(avg[0].CoV, 0.5, 1e-12) {
+		t.Errorf("avg[0] = %+v, want {3 0.5}", avg[0])
+	}
+	if avg[1].Phases != 6 || !almostEq(avg[1].CoV, 0.3, 1e-12) {
+		t.Errorf("avg[1] = %+v, want {6 0.3}", avg[1])
+	}
+	if avg[0].Threshold != 0.1 {
+		t.Errorf("threshold not propagated: %v", avg[0].Threshold)
+	}
+}
+
+func TestAverageCurvesMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	AverageCurves([][]CurvePoint{{{}}, {}})
+}
+
+func TestGeomSpace(t *testing.T) {
+	xs := GeomSpace(0.01, 1, 200)
+	if len(xs) != 200 {
+		t.Fatalf("len = %d", len(xs))
+	}
+	if xs[0] != 0.01 || xs[199] != 1 {
+		t.Errorf("endpoints = %v, %v", xs[0], xs[199])
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			t.Fatalf("not strictly increasing at %d", i)
+		}
+	}
+	// Geometric: ratio between consecutive elements is constant.
+	r := xs[1] / xs[0]
+	for i := 2; i < len(xs); i++ {
+		if !almostEq(xs[i]/xs[i-1], r, 1e-9) {
+			t.Fatalf("ratio drift at %d", i)
+		}
+	}
+}
+
+func TestLinSpace(t *testing.T) {
+	xs := LinSpace(0, 10, 11)
+	for i, x := range xs {
+		if !almostEq(x, float64(i), 1e-12) {
+			t.Errorf("xs[%d] = %v", i, x)
+		}
+	}
+}
+
+func TestSpacesPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { GeomSpace(0, 1, 10) },
+		func() { GeomSpace(1, 2, 1) },
+		func() { LinSpace(0, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

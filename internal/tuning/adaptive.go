@@ -1,0 +1,89 @@
+package tuning
+
+import "dsmphase/internal/predictor"
+
+// AdaptiveLoop couples a phase predictor with a tuning controller,
+// completing the paper's §II pipeline: the detector classifies the
+// interval that just finished, the predictor infers the phase of the
+// *next* interval, and the reconfiguration module applies that phase's
+// configuration before the interval runs. A misprediction therefore runs
+// an interval under the wrong phase's configuration — the cost the paper
+// says future work on DSM phase prediction must minimize.
+type AdaptiveLoop struct {
+	ctl  *Controller
+	pred predictor.Predictor
+}
+
+// NewAdaptiveLoop builds the loop from a controller and a predictor.
+func NewAdaptiveLoop(ctl *Controller, pred predictor.Predictor) *AdaptiveLoop {
+	if ctl == nil || pred == nil {
+		panic("tuning: AdaptiveLoop needs a controller and a predictor")
+	}
+	return &AdaptiveLoop{ctl: ctl, pred: pred}
+}
+
+// AdaptiveOutcome extends Outcome with prediction accounting.
+type AdaptiveOutcome struct {
+	Outcome
+	// Mispredictions counts intervals that ran under a configuration
+	// chosen for the wrong phase.
+	Mispredictions int
+	// PredictionAccuracy is the fraction of correctly predicted phases
+	// (excluding the first interval).
+	PredictionAccuracy float64
+}
+
+// Replay simulates the predictive loop over a recorded phase sequence.
+// scores[config][i] is interval i's cost under each configuration.
+//
+// For each interval the loop asks the predictor for the upcoming phase,
+// applies the controller's decision for that phase, then — once the
+// interval has "run" — learns the actual phase and reports the
+// measurement to the controller under the phase the configuration was
+// chosen for (the hardware cannot retroactively re-run the interval).
+func (l *AdaptiveLoop) Replay(phases []int, scores [][]float64) AdaptiveOutcome {
+	if len(scores) != l.ctl.numConfigs {
+		panic("tuning: scores must have one row per configuration")
+	}
+	var out AdaptiveOutcome
+	correct := 0
+	for i, actual := range phases {
+		var predicted int
+		if i == 0 {
+			// Nothing to predict from: treat the first interval as its
+			// own phase announcement.
+			predicted = actual
+		} else {
+			predicted = l.pred.Predict()
+		}
+		d := l.ctl.Decide(predicted)
+		s := scores[d.Config][i]
+		l.ctl.Report(predicted, d.Config, s)
+		l.pred.Observe(actual)
+		if i > 0 {
+			if predicted == actual {
+				correct++
+			} else {
+				out.Mispredictions++
+			}
+		}
+		out.Intervals++
+		if d.Tuning {
+			out.TuningIntervals++
+		}
+		out.TotalScore += s
+		best := scores[0][i]
+		for cfg := 1; cfg < l.ctl.numConfigs; cfg++ {
+			if scores[cfg][i] < best {
+				best = scores[cfg][i]
+			}
+		}
+		out.OracleScore += best
+	}
+	if len(phases) > 1 {
+		out.PredictionAccuracy = float64(correct) / float64(len(phases)-1)
+	} else {
+		out.PredictionAccuracy = 1
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package tuning
+
+import (
+	"testing"
+
+	"dsmphase/internal/predictor"
+)
+
+// stable two-phase pattern with long runs: easy to predict, easy to tune.
+func stablePattern(n int) ([]int, [][]float64) {
+	phases := make([]int, n)
+	for i := range phases {
+		phases[i] = (i / 25) % 2
+	}
+	scores := [][]float64{make([]float64, n), make([]float64, n)}
+	for i, ph := range phases {
+		if ph == 0 {
+			scores[0][i], scores[1][i] = 1, 2
+		} else {
+			scores[0][i], scores[1][i] = 2, 1
+		}
+	}
+	return phases, scores
+}
+
+func TestAdaptiveLoopStablePhases(t *testing.T) {
+	phases, scores := stablePattern(500)
+	loop := NewAdaptiveLoop(NewController(2, 1), predictor.NewLastPhase())
+	out := loop.Replay(phases, scores)
+	if out.Intervals != 500 {
+		t.Fatalf("intervals = %d", out.Intervals)
+	}
+	// Last-phase prediction on 25-long runs is wrong once per run
+	// boundary: 19 boundaries in 500 intervals.
+	if out.PredictionAccuracy < 0.9 {
+		t.Errorf("prediction accuracy = %v, want > 0.9", out.PredictionAccuracy)
+	}
+	// Total must land near the oracle: mispredicted intervals and trials
+	// cost at most 1 extra each.
+	slack := float64(out.Mispredictions + out.TuningIntervals)
+	if out.TotalScore > out.OracleScore+slack {
+		t.Errorf("total %v exceeds oracle %v + slack %v", out.TotalScore, out.OracleScore, slack)
+	}
+	if out.TotalScore < out.OracleScore {
+		t.Errorf("total %v beats the oracle %v — impossible", out.TotalScore, out.OracleScore)
+	}
+}
+
+func TestAdaptiveLoopBetterPredictorHelps(t *testing.T) {
+	// A strictly alternating phase sequence: last-phase predicts it
+	// always wrong; Markov learns it perfectly.
+	n := 400
+	phases := make([]int, n)
+	for i := range phases {
+		phases[i] = i % 2
+	}
+	scores := [][]float64{make([]float64, n), make([]float64, n)}
+	for i, ph := range phases {
+		if ph == 0 {
+			scores[0][i], scores[1][i] = 1, 3
+		} else {
+			scores[0][i], scores[1][i] = 3, 1
+		}
+	}
+	last := NewAdaptiveLoop(NewController(2, 1), predictor.NewLastPhase()).Replay(phases, scores)
+	markov := NewAdaptiveLoop(NewController(2, 1), predictor.NewMarkov()).Replay(phases, scores)
+	if markov.PredictionAccuracy <= last.PredictionAccuracy {
+		t.Errorf("markov accuracy (%v) must beat last-phase (%v)",
+			markov.PredictionAccuracy, last.PredictionAccuracy)
+	}
+	if markov.TotalScore >= last.TotalScore {
+		t.Errorf("better prediction must lower cost: markov %v vs last %v",
+			markov.TotalScore, last.TotalScore)
+	}
+}
+
+func TestAdaptiveLoopSingleInterval(t *testing.T) {
+	loop := NewAdaptiveLoop(NewController(2, 1), predictor.NewLastPhase())
+	out := loop.Replay([]int{3}, [][]float64{{1}, {2}})
+	if out.Intervals != 1 || out.PredictionAccuracy != 1 || out.Mispredictions != 0 {
+		t.Errorf("single interval outcome = %+v", out)
+	}
+}
+
+func TestAdaptiveLoopPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewAdaptiveLoop(nil, predictor.NewLastPhase()) },
+		func() { NewAdaptiveLoop(NewController(2, 1), nil) },
+		func() {
+			NewAdaptiveLoop(NewController(2, 1), predictor.NewLastPhase()).
+				Replay([]int{0}, [][]float64{{1}})
+		},
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAdaptiveOutcomeConsistency(t *testing.T) {
+	phases, scores := stablePattern(200)
+	out := NewAdaptiveLoop(NewController(2, 2), predictor.NewRunLength(16)).Replay(phases, scores)
+	if out.Mispredictions > out.Intervals-1 {
+		t.Errorf("mispredictions %d exceed scored intervals", out.Mispredictions)
+	}
+	if out.PredictionAccuracy < 0 || out.PredictionAccuracy > 1 {
+		t.Errorf("accuracy = %v", out.PredictionAccuracy)
+	}
+}

@@ -1,0 +1,175 @@
+// Package tuning implements the reconfiguration module of the paper's
+// phase-adaptive pipeline (§II): for each detected phase it trials the
+// available hardware configurations on successive intervals of that
+// phase, then locks in the best one. The quality of the phase detector
+// directly controls tuning cost (one trial sequence per phase) and
+// effectiveness (homogeneous phases make the locked-in choice right for
+// every future interval) — which is why the paper measures detectors by
+// CoV versus number of phases.
+package tuning
+
+import "fmt"
+
+// Objective scores a configuration's measurement; lower is better
+// (e.g. CPI or energy-delay).
+type Objective func(measurement float64) float64
+
+// Controller runs trial-and-error tuning per phase.
+type Controller struct {
+	numConfigs int
+	states     map[int]*phaseState
+	// TrialsPerConfig is how many intervals each configuration is
+	// measured before moving on (averaging suppresses noise).
+	trialsPerConfig int
+}
+
+type phaseState struct {
+	nextConfig int
+	trialCount int
+	trialSum   float64
+	bestConfig int
+	bestScore  float64
+	tuned      bool
+}
+
+// NewController returns a controller choosing among numConfigs hardware
+// configurations, measuring each for trialsPerConfig intervals.
+func NewController(numConfigs, trialsPerConfig int) *Controller {
+	if numConfigs <= 0 {
+		panic("tuning: need at least one configuration")
+	}
+	if trialsPerConfig <= 0 {
+		trialsPerConfig = 1
+	}
+	return &Controller{
+		numConfigs:      numConfigs,
+		trialsPerConfig: trialsPerConfig,
+		states:          make(map[int]*phaseState),
+	}
+}
+
+// Decision is the controller's choice for the next interval.
+type Decision struct {
+	// Config is the hardware configuration to apply.
+	Config int
+	// Tuning reports whether the interval is a trial (overhead) rather
+	// than a locked-in best configuration.
+	Tuning bool
+}
+
+// Decide returns the configuration for the next interval of the given
+// predicted phase.
+func (c *Controller) Decide(phase int) Decision {
+	st := c.states[phase]
+	if st == nil {
+		st = &phaseState{bestConfig: -1}
+		c.states[phase] = st
+	}
+	if st.tuned {
+		return Decision{Config: st.bestConfig}
+	}
+	return Decision{Config: st.nextConfig, Tuning: true}
+}
+
+// Report feeds back the measured objective for the interval that just
+// ran in the given phase with the given configuration. Measurements for
+// already-tuned phases are ignored (the paper's mechanism re-tunes only
+// when phase membership changes, which appears as a new phase ID).
+func (c *Controller) Report(phase, config int, score float64) {
+	st := c.states[phase]
+	if st == nil || st.tuned || config != st.nextConfig {
+		return
+	}
+	st.trialCount++
+	st.trialSum += score
+	if st.trialCount < c.trialsPerConfig {
+		return
+	}
+	avg := st.trialSum / float64(st.trialCount)
+	if st.bestConfig < 0 || avg < st.bestScore {
+		st.bestConfig = st.nextConfig
+		st.bestScore = avg
+	}
+	st.trialCount = 0
+	st.trialSum = 0
+	st.nextConfig++
+	if st.nextConfig >= c.numConfigs {
+		st.tuned = true
+	}
+}
+
+// Tuned reports whether the phase has finished its trial sequence.
+func (c *Controller) Tuned(phase int) bool {
+	st := c.states[phase]
+	return st != nil && st.tuned
+}
+
+// Best returns the locked-in configuration for a tuned phase.
+func (c *Controller) Best(phase int) (config int, ok bool) {
+	st := c.states[phase]
+	if st == nil || !st.tuned {
+		return 0, false
+	}
+	return st.bestConfig, true
+}
+
+// Phases returns how many distinct phases the controller has seen.
+func (c *Controller) Phases() int { return len(c.states) }
+
+// Outcome summarizes a tuning simulation.
+type Outcome struct {
+	// Intervals is the total interval count replayed.
+	Intervals int
+	// TuningIntervals is how many were spent trialling (overhead).
+	TuningIntervals int
+	// TotalScore is the summed objective across all intervals.
+	TotalScore float64
+	// OracleScore is the score a clairvoyant controller (always the best
+	// configuration, no trials) would have achieved.
+	OracleScore float64
+}
+
+// Overhead returns the fraction of intervals spent tuning.
+func (o Outcome) Overhead() float64 {
+	if o.Intervals == 0 {
+		return 0
+	}
+	return float64(o.TuningIntervals) / float64(o.Intervals)
+}
+
+// String summarizes the outcome.
+func (o Outcome) String() string {
+	return fmt.Sprintf("intervals=%d tuning=%d (%.1f%%) score=%.2f oracle=%.2f (+%.1f%%)",
+		o.Intervals, o.TuningIntervals, 100*o.Overhead(), o.TotalScore, o.OracleScore,
+		100*(o.TotalScore-o.OracleScore)/o.OracleScore)
+}
+
+// Replay simulates the adaptive loop over a recorded phase sequence.
+// scores[config][i] is the objective value interval i would have under
+// each configuration. It returns the achieved outcome, which examples
+// use to show that better phase detection lowers both tuning overhead
+// and total cost.
+func Replay(c *Controller, phases []int, scores [][]float64) Outcome {
+	if len(scores) != c.numConfigs {
+		panic("tuning: scores must have one row per configuration")
+	}
+	var out Outcome
+	for i, ph := range phases {
+		d := c.Decide(ph)
+		s := scores[d.Config][i]
+		c.Report(ph, d.Config, s)
+		out.Intervals++
+		if d.Tuning {
+			out.TuningIntervals++
+		}
+		out.TotalScore += s
+		best := scores[0][i]
+		for cfg := 1; cfg < c.numConfigs; cfg++ {
+			if scores[cfg][i] < best {
+				best = scores[cfg][i]
+			}
+		}
+		out.OracleScore += best
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package tuning
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestControllerTrialsEveryConfigOnce(t *testing.T) {
+	c := NewController(3, 1)
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		d := c.Decide(0)
+		if !d.Tuning {
+			t.Fatalf("interval %d should be a trial", i)
+		}
+		seen[d.Config] = true
+		c.Report(0, d.Config, float64(10-d.Config)) // config 2 is best
+	}
+	if len(seen) != 3 {
+		t.Fatalf("trialled %d configs, want 3", len(seen))
+	}
+	if !c.Tuned(0) {
+		t.Fatal("phase must be tuned after all trials")
+	}
+	best, ok := c.Best(0)
+	if !ok || best != 2 {
+		t.Errorf("best = (%d, %v), want (2, true)", best, ok)
+	}
+	d := c.Decide(0)
+	if d.Tuning || d.Config != 2 {
+		t.Errorf("post-tuning decision = %+v", d)
+	}
+}
+
+func TestControllerAveragesTrials(t *testing.T) {
+	c := NewController(2, 2)
+	// Config 0: measurements 10, 2 (avg 6). Config 1: 5, 5 (avg 5).
+	for _, s := range []float64{10, 2} {
+		d := c.Decide(0)
+		if d.Config != 0 {
+			t.Fatalf("expected config 0 trial, got %d", d.Config)
+		}
+		c.Report(0, 0, s)
+	}
+	for _, s := range []float64{5, 5} {
+		c.Report(0, 1, s)
+	}
+	best, _ := c.Best(0)
+	if best != 1 {
+		t.Errorf("best = %d, want 1 (avg 5 < avg 6)", best)
+	}
+}
+
+func TestControllerPerPhaseIndependence(t *testing.T) {
+	c := NewController(2, 1)
+	feed := func(phase int, scores []float64) {
+		for _, s := range scores {
+			d := c.Decide(phase)
+			c.Report(phase, d.Config, s)
+		}
+	}
+	feed(0, []float64{1, 9}) // phase 0: config 0 good
+	feed(1, []float64{9, 1}) // phase 1: config 1 good
+	b0, _ := c.Best(0)
+	b1, _ := c.Best(1)
+	if b0 != 0 || b1 != 1 {
+		t.Errorf("per-phase bests = %d, %d; want 0, 1", b0, b1)
+	}
+	if c.Phases() != 2 {
+		t.Errorf("Phases = %d", c.Phases())
+	}
+}
+
+func TestReportIgnoresStaleConfig(t *testing.T) {
+	c := NewController(2, 1)
+	c.Decide(0)
+	c.Report(0, 1, 0.1) // wrong config: ignored
+	if c.Tuned(0) {
+		t.Error("stale report must not advance tuning")
+	}
+}
+
+func TestBestBeforeTuned(t *testing.T) {
+	c := NewController(2, 1)
+	if _, ok := c.Best(5); ok {
+		t.Error("Best on unseen phase must be !ok")
+	}
+}
+
+func TestNewControllerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewController(0, 1)
+}
+
+func TestReplayConvergesToOracle(t *testing.T) {
+	// Two stable phases alternating in long runs; config 0 suits phase 0,
+	// config 1 suits phase 1.
+	var phases []int
+	for rep := 0; rep < 20; rep++ {
+		for i := 0; i < 10; i++ {
+			phases = append(phases, rep%2)
+		}
+	}
+	n := len(phases)
+	scores := [][]float64{make([]float64, n), make([]float64, n)}
+	for i, ph := range phases {
+		if ph == 0 {
+			scores[0][i], scores[1][i] = 1, 2
+		} else {
+			scores[0][i], scores[1][i] = 2, 1
+		}
+	}
+	out := Replay(NewController(2, 1), phases, scores)
+	if out.Intervals != n {
+		t.Fatalf("intervals = %d", out.Intervals)
+	}
+	if out.TuningIntervals != 4 { // 2 phases × 2 configs
+		t.Errorf("tuning intervals = %d, want 4", out.TuningIntervals)
+	}
+	// After tuning, every interval runs at oracle cost: total = oracle +
+	// the extra cost of the mispicked trials (2 trials cost 2 instead of 1).
+	if out.TotalScore != out.OracleScore+2 {
+		t.Errorf("total = %v, oracle = %v", out.TotalScore, out.OracleScore)
+	}
+	if out.Overhead() <= 0 || out.Overhead() >= 0.1 {
+		t.Errorf("overhead = %v", out.Overhead())
+	}
+	if !strings.Contains(out.String(), "intervals=200") {
+		t.Errorf("String() = %q", out.String())
+	}
+}
+
+func TestReplayFragmentedPhasesCostMore(t *testing.T) {
+	// The same execution classified two ways: a clean 2-phase labelling
+	// versus a noisy 8-phase labelling. More phases => more trials =>
+	// higher overhead — the CoV-curve trade-off the paper formalizes.
+	n := 400
+	clean := make([]int, n)
+	noisy := make([]int, n)
+	for i := range clean {
+		clean[i] = (i / 20) % 2
+		noisy[i] = (i/20)%2*4 + i%4 // 8 distinct labels
+	}
+	scores := [][]float64{make([]float64, n), make([]float64, n)}
+	for i := range clean {
+		if clean[i] == 0 {
+			scores[0][i], scores[1][i] = 1, 2
+		} else {
+			scores[0][i], scores[1][i] = 2, 1
+		}
+	}
+	outClean := Replay(NewController(2, 1), clean, scores)
+	outNoisy := Replay(NewController(2, 1), noisy, scores)
+	if outNoisy.TuningIntervals <= outClean.TuningIntervals {
+		t.Errorf("fragmented labelling must tune more: %d vs %d",
+			outNoisy.TuningIntervals, outClean.TuningIntervals)
+	}
+}
+
+func TestReplayPanicsOnBadScores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Replay(NewController(2, 1), []int{0}, [][]float64{{1}})
+}
+
+// Property: overhead is bounded by (configs × trials × phases) intervals
+// and total score is never below oracle.
+func TestReplayBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		phases := make([]int, len(raw))
+		for i, r := range raw {
+			phases[i] = int(r % 4)
+		}
+		n := len(phases)
+		scores := [][]float64{make([]float64, n), make([]float64, n), make([]float64, n)}
+		for i := range phases {
+			for cfg := 0; cfg < 3; cfg++ {
+				scores[cfg][i] = float64((phases[i]+cfg)%3) + 1
+			}
+		}
+		c := NewController(3, 2)
+		out := Replay(c, phases, scores)
+		maxTuning := 3 * 2 * c.Phases()
+		return out.TuningIntervals <= maxTuning && out.TotalScore >= out.OracleScore-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,204 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dsmphase/internal/isa"
+	"dsmphase/internal/machine"
+)
+
+// Ocean models SPLASH-2 Ocean (extension beyond the paper's Table II):
+// a red-black Gauss-Seidel relaxation over a 2-D grid partitioned into
+// horizontal strips, with a residual reduction against a global
+// accumulator and a periodic multigrid restriction step that shrinks
+// the working grid.
+//
+// Phase-detection relevance: relaxation sweeps touch only the strip's
+// interior except for the halo rows owned by neighbouring processors
+// (nearest-neighbour remote traffic — a different distribution signature
+// from LU's row/column broadcasts or Art's all-to-all), the reduction
+// phase serializes on one home (contention spike), and the multigrid
+// step halves the work periodically (temporal phase change).
+type Ocean struct{}
+
+func init() { Register(Ocean{}) }
+
+// Name implements Workload.
+func (Ocean) Name() string { return "ocean" }
+
+// Description implements Workload.
+func (Ocean) Description() string {
+	return "SPLASH-2 Ocean extension (red-black relaxation strips, halo exchange, reduction, multigrid)"
+}
+
+type oceanParams struct {
+	Grid  int // grid side
+	Steps int
+}
+
+func (Ocean) params(sz Size) oceanParams {
+	switch sz {
+	case SizeTest:
+		return oceanParams{Grid: 128, Steps: 6}
+	case SizeSmall:
+		return oceanParams{Grid: 256, Steps: 10}
+	default:
+		return oceanParams{Grid: 512, Steps: 14}
+	}
+}
+
+// InputSet implements Workload.
+func (w Ocean) InputSet(sz Size) string {
+	p := w.params(sz)
+	return fmt.Sprintf("%d×%d grid, %d timesteps", p.Grid, p.Grid, p.Steps)
+}
+
+// Ocean kernel kinds.
+const (
+	oceanRelax = iota
+	oceanReduce
+	oceanRestrict
+)
+
+const pcOcean = 0x5000_0000
+
+// oceanChunk is the number of grid rows per work item.
+const oceanChunk = 8
+
+type oceanRun struct {
+	n    int
+	p    oceanParams
+	seed uint64
+}
+
+// rowOwner partitions rows into contiguous strips.
+func (r *oceanRun) rowOwner(row, grid int) int {
+	return row * r.n / grid
+}
+
+// cellAddr is the address of grid cell (row, col) at the given multigrid
+// level (each level has a disjoint region of the owner's memory).
+func (r *oceanRun) cellAddr(row, col, grid, level int) uint64 {
+	base := uint64(level) << 27
+	return machine.AddrAt(r.rowOwner(row, grid), base+uint64(row*grid+col)*8)
+}
+
+// accumAddr is the global residual accumulator (home node 0).
+func (r *oceanRun) accumAddr() uint64 {
+	return machine.AddrAt(0, 1<<30)
+}
+
+// Threads implements Workload.
+func (w Ocean) Threads(n int, sz Size, seed uint64) []isa.Thread {
+	p := w.params(sz)
+	run := &oceanRun{n: n, p: p, seed: seed}
+	out := make([]isa.Thread, n)
+	for tid := 0; tid < n; tid++ {
+		var items []item
+		grid := p.Grid
+		level := 0
+		for ts := 0; ts < p.Steps; ts++ {
+			lo := tid * grid / n
+			hi := (tid + 1) * grid / n
+			for _, colour := range []int{0, 1} { // red sweep, black sweep
+				for s := lo; s < hi; s += oceanChunk {
+					e := s + oceanChunk
+					if e > hi {
+						e = hi
+					}
+					items = append(items, item{kind: oceanRelax, a: s, b: e, c: colour | level<<1, d: grid})
+				}
+				items = append(items, item{kind: kindBarrier})
+			}
+			items = append(items, item{kind: oceanReduce, a: lo, b: hi, d: grid, c: level})
+			items = append(items, item{kind: kindBarrier})
+			// Multigrid restriction every third step: drop to a coarser
+			// grid for the next step, then return to the fine grid.
+			if ts%3 == 2 && grid > 32 {
+				items = append(items, item{kind: oceanRestrict, a: lo / 2, b: hi / 2, c: level, d: grid})
+				items = append(items, item{kind: kindBarrier})
+				grid = grid / 2
+				level++
+			} else if level > 0 {
+				grid = p.Grid
+				level = 0
+			}
+		}
+		out[tid] = &scriptThread{items: items, emit: run.emit, barrierPC: pcOcean + 0xF00}
+	}
+	return out
+}
+
+func (r *oceanRun) emit(it item, e *isa.Emitter) {
+	switch it.kind {
+	case oceanRelax:
+		r.emitRelax(e, it.a, it.b, it.c&1, it.c>>1, it.d)
+	case oceanReduce:
+		r.emitReduce(e, it.a, it.b, it.c, it.d)
+	case oceanRestrict:
+		r.emitRestrict(e, it.a, it.b, it.c, it.d)
+	default:
+		panic("ocean: unknown work item")
+	}
+}
+
+// emitRelax performs a red-black relaxation sweep over rows [lo, hi):
+// each updated cell reads its four neighbours; the row above the strip's
+// first row and below its last row belong to the neighbouring
+// processors (halo traffic). Columns are sampled to bound instruction
+// counts while preserving the per-row structure.
+func (r *oceanRun) emitRelax(e *isa.Emitter, lo, hi, colour, level, grid int) {
+	pc := uint32(pcOcean + 0x000 + 0x40*colour)
+	colStep := 4 // sample every 4th column
+	for row := lo; row < hi; row++ {
+		start := (row + colour) % 2
+		for col := start + 1; col < grid-1; col += colStep {
+			e.Load(pc+0, r.cellAddr(row, col, grid, level))
+			up := row - 1
+			if up < 0 {
+				up = 0
+			}
+			down := row + 1
+			if down >= grid {
+				down = grid - 1
+			}
+			e.Load(pc+4, r.cellAddr(up, col, grid, level))
+			e.Load(pc+8, r.cellAddr(down, col, grid, level))
+			e.FP(pc+12, 3)
+			e.Store(pc+16, r.cellAddr(row, col, grid, level))
+			e.LoopBranch(pc+20, col/colStep, (grid-2)/colStep+1)
+		}
+		e.LoopBranch(pc+24, row-lo, hi-lo)
+	}
+}
+
+// emitReduce accumulates the strip's residual into the global
+// accumulator homed at node 0 — every processor converges on one line.
+func (r *oceanRun) emitReduce(e *isa.Emitter, lo, hi, level, grid int) {
+	const pc = pcOcean + 0x100
+	for row := lo; row < hi; row++ {
+		e.Load(pc+0, r.cellAddr(row, grid/2, grid, level))
+		e.FP(pc+4, 1)
+		e.LoopBranch(pc+8, row-lo, hi-lo)
+	}
+	// Read-modify-write of the shared accumulator.
+	e.Load(pc+12, r.accumAddr())
+	e.FP(pc+16, 1)
+	e.Store(pc+20, r.accumAddr())
+}
+
+// emitRestrict projects the strip onto the next-coarser grid.
+func (r *oceanRun) emitRestrict(e *isa.Emitter, lo, hi, level, grid int) {
+	const pc = pcOcean + 0x200
+	coarse := grid / 2
+	for row := lo; row < hi && row < coarse; row++ {
+		for col := 0; col < coarse; col += 4 {
+			e.Load(pc+0, r.cellAddr(row*2, col*2, grid, level))
+			e.Load(pc+4, r.cellAddr(row*2+1, col*2, grid, level))
+			e.FP(pc+8, 2)
+			e.Store(pc+12, r.cellAddr(row, col, coarse, level+1))
+			e.LoopBranch(pc+16, col/4, coarse/4)
+		}
+		e.LoopBranch(pc+20, row-lo, hi-lo)
+	}
+}

@@ -1,0 +1,167 @@
+// Package workloads provides synthetic, executable stand-ins for the
+// paper's Table II applications: SPLASH-2 LU and FMM, and SPEC-OMP Art
+// and Equake (MinneSPEC-Large).
+//
+// The real applications cannot be run on this simulator (no compiler or
+// binary front end exists), so each workload is rebuilt as a
+// deterministic instruction-stream generator that preserves the
+// observables phase detection depends on:
+//
+//   - per-phase basic-block composition (distinct static PCs per kernel,
+//     realistic loop-branch structure for the gshare predictor),
+//   - per-phase data placement and sharing (block ownership in LU,
+//     spatial partitions in FMM/Equake, broadcast weight reads in Art),
+//   - temporal structure (LU's shrinking trailing matrix, FMM and
+//     Equake's timesteps, Art's train/test alternation),
+//   - load imbalance (barrier arrival skew), which the machine turns
+//     into CPI variance.
+//
+// See DESIGN.md §2 for the substitution argument.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"dsmphase/internal/isa"
+)
+
+// Size selects a scaled input set.
+type Size int
+
+const (
+	// SizeTest is a seconds-scale input for unit tests.
+	SizeTest Size = iota
+	// SizeSmall is the default for benchmarks and quick experiments.
+	SizeSmall
+	// SizeFull approximates the paper's input scale (Table II).
+	SizeFull
+)
+
+// String returns the size name.
+func (s Size) String() string {
+	switch s {
+	case SizeTest:
+		return "test"
+	case SizeSmall:
+		return "small"
+	case SizeFull:
+		return "full"
+	default:
+		return fmt.Sprintf("size(%d)", int(s))
+	}
+}
+
+// ParseSize converts a name to a Size.
+func ParseSize(name string) (Size, error) {
+	switch name {
+	case "test":
+		return SizeTest, nil
+	case "small":
+		return SizeSmall, nil
+	case "full":
+		return SizeFull, nil
+	default:
+		return 0, fmt.Errorf("workloads: unknown size %q (want test, small or full)", name)
+	}
+}
+
+// Workload is one application the experiments run.
+type Workload interface {
+	// Name is the Table II application name (lowercase).
+	Name() string
+	// Description summarizes what the synthetic kernel models.
+	Description() string
+	// InputSet describes the input for the given size, in the style of
+	// Table II.
+	InputSet(sz Size) string
+	// Threads instantiates the workload for an n-processor run. All
+	// threads emit the same number of Sync (barrier) instructions.
+	Threads(n int, sz Size, seed uint64) []isa.Thread
+}
+
+var registry = map[string]Workload{}
+
+// Register adds a workload to the registry (called from init functions).
+func Register(w Workload) {
+	if _, dup := registry[w.Name()]; dup {
+		panic("workloads: duplicate registration of " + w.Name())
+	}
+	registry[w.Name()] = w
+}
+
+// ByName looks a workload up.
+func ByName(name string) (Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+	}
+	return w, nil
+}
+
+// Names returns the registered workload names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns the registered workloads in name order.
+func All() []Workload {
+	names := Names()
+	out := make([]Workload, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}
+
+// item is one unit of scripted work: either a barrier or a workload-
+// specific kernel invocation identified by kind with up to four integer
+// arguments.
+type item struct {
+	kind       int
+	a, b, c, d int
+}
+
+// kindBarrier marks a barrier arrival.
+const kindBarrier = -1
+
+// scriptThread executes a precomputed list of work items, one item per
+// batch. Emission is delegated to the owning workload's kernel emitter.
+type scriptThread struct {
+	items []item
+	pos   int
+	emit  func(it item, e *isa.Emitter)
+	// barrierPC is the static PC of the barrier arrival instruction.
+	barrierPC uint32
+}
+
+func (t *scriptThread) NextBatch(e *isa.Emitter) bool {
+	if t.pos >= len(t.items) {
+		return false
+	}
+	it := t.items[t.pos]
+	t.pos++
+	if it.kind == kindBarrier {
+		e.Sync(t.barrierPC)
+		return true
+	}
+	t.emit(it, e)
+	return true
+}
+
+// CountBarriers returns how many barrier items a thread's script holds —
+// used by tests to verify all threads agree.
+func countBarriers(items []item) int {
+	n := 0
+	for _, it := range items {
+		if it.kind == kindBarrier {
+			n++
+		}
+	}
+	return n
+}
