@@ -1,0 +1,31 @@
+# Mirrors .github/workflows/ci.yml so CI is reproducible locally:
+# `make ci` runs exactly the gates the workflow runs.
+
+GO ?= go
+
+.PHONY: build test vet fmt fmt-check bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+ci: build fmt-check vet test bench

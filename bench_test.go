@@ -157,6 +157,65 @@ func BenchmarkFigure4(b *testing.B) {
 	}
 }
 
+// ---- The sharded experiment engine ----
+
+// BenchmarkFigureEngine runs the Figure 4 multi-workload sweep (all
+// four applications, 8 nodes, BBV and BBV+DDV over shared simulations)
+// through the engine at several worker counts. workers=1 is the serial
+// baseline; higher counts show the worker-pool speedup on multi-core
+// hosts (the curves themselves are identical at every setting).
+func BenchmarkFigureEngine(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			fc := harness.FigureConfig{
+				Size:     workloads.SizeTest,
+				Interval: 40_000,
+				Seed:     1,
+				Parallel: workers,
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := harness.Figure4(fc, []int{8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != 8 {
+					b.Fatalf("got %d curves, want 8", len(res))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineRecordCache quantifies the memoizing record cache: the
+// same four-detector sweep with the cache (one simulation shared by all
+// kinds) versus defeated (distinct seeds force four simulations).
+func BenchmarkEngineRecordCache(b *testing.B) {
+	kinds := []core.DetectorKind{
+		core.DetectorWSS, core.DetectorBBV, core.DetectorDDS, core.DetectorBBVDDV,
+	}
+	b.Run("shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plan := harness.NewPlan().Add(benchRC("lu", 8), kinds...)
+			if err := harness.FirstError(harness.RunPlan(plan, harness.Options{Parallel: 1})); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("resimulated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plan := harness.NewPlan()
+			for s, k := range kinds {
+				rc := benchRC("lu", 8)
+				rc.Seed = harness.DeriveSeed(rc.Seed, rc.Workload, rc.Procs, s)
+				plan.Add(rc, k)
+			}
+			if err := harness.FirstError(harness.RunPlan(plan, harness.Options{Parallel: 1})); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // ---- §III-B: DDS exchange overhead model ----
 
 func BenchmarkOverhead_Model(b *testing.B) {

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -29,6 +30,8 @@ func main() {
 		interval = flag.Uint64("interval", 0, "total sampling interval in instructions (split across nodes; 0 = 300k reduced-input default; paper: 3000000)")
 		detector = flag.String("detector", "", "bbv, ddv, dds or both (custom mode)")
 		seed     = flag.Uint64("seed", 1, "workload seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "engine worker pool size")
+		progress = flag.Bool("progress", false, "report per-cell progress on stderr")
 		compare  = flag.Bool("compare", false, "also print BBV vs BBV+DDV comparisons at 10/25 phases")
 		asciiPlt = flag.Bool("plot", false, "render ASCII charts (one panel per application, log y)")
 	)
@@ -43,6 +46,12 @@ func main() {
 		Size:     size,
 		Interval: *interval,
 		Seed:     *seed,
+		Parallel: *parallel,
+	}
+	if *progress {
+		fc.Progress = func(done, total int, r dsmphase.CellResult) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, r.Cell.Label())
+		}
 	}
 	procs, err := parseProcs(*procsArg)
 	if err != nil {
@@ -107,7 +116,11 @@ func printPanels(results []dsmphase.CurveResult) {
 	}
 }
 
-// runCustom sweeps the requested detectors over each (app, procs) pair.
+// runCustom sweeps the requested detectors over each (app, procs) pair
+// on the sharded engine; the record cache runs each pair's simulation
+// once however many detectors sweep it. A failing cell is reported on
+// stderr and skipped, so one diverging configuration does not abort the
+// rest of the study.
 func runCustom(fc dsmphase.FigureConfig, procs []int, detector string) ([]dsmphase.CurveResult, error) {
 	kinds, err := parseDetector(detector)
 	if err != nil {
@@ -116,35 +129,17 @@ func runCustom(fc dsmphase.FigureConfig, procs []int, detector string) ([]dsmpha
 	if len(procs) == 0 {
 		procs = []int{8}
 	}
-	// Reuse Figure4's machinery through the public API: run each kind.
-	var out []dsmphase.CurveResult
-	apps := fc.Apps
-	if len(apps) == 0 {
-		apps = []string{"fmm", "lu", "equake", "art"}
-	}
-	for _, app := range apps {
-		for _, p := range procs {
-			iv := fc.Interval
-			if iv == 0 {
-				iv = 300_000
-			}
-			rc := dsmphase.RunConfig{
-				Workload:             app,
-				Size:                 fc.Size,
-				Procs:                p,
-				IntervalInstructions: iv / uint64(p),
-				Seed:                 fc.Seed,
-			}
-			for _, k := range kinds {
-				c, err := dsmphase.RunCurve(rc, k)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, c)
-			}
+	plan := dsmphase.FigurePlan(fc, procs, kinds)
+	results := dsmphase.RunPlan(plan, dsmphase.EngineOptions{
+		Parallel: fc.Parallel,
+		Progress: fc.Progress,
+	})
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "covcurve: skipping %s: %v\n", r.Cell.Label(), r.Err)
 		}
 	}
-	return out, nil
+	return dsmphase.Curves(results), nil
 }
 
 func parseDetector(s string) ([]dsmphase.DetectorKind, error) {

@@ -3,88 +3,150 @@
 // scorecard in the style of EXPERIMENTS.md, including pass/fail checks
 // of the paper's qualitative claims.
 //
+// Simulation cells run on the sharded experiment engine: -parallel N
+// bounds the worker pool (default: all CPUs), and the report is
+// byte-identical for every worker count. A cell that fails (e.g. a
+// diverging workload) is reported and skipped; its siblings still run.
+//
 //	experiments -size small > report.md
+//	experiments -size small -parallel 8 -progress > report.md
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"dsmphase"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the whole report. The markdown lands on stdout; timing
+// and progress land on stderr so stdout stays byte-identical across
+// worker counts and machines.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		sizeArg  = flag.String("size", "small", "input scale: test, small or full")
-		interval = flag.Uint64("interval", 0, "total sampling interval (0 = 300k reduced default)")
-		seed     = flag.Uint64("seed", 1, "workload seed")
+		sizeArg  = fs.String("size", "small", "input scale: test, small or full")
+		apps     = fs.String("apps", "", "comma-separated workloads (default: the paper's four)")
+		interval = fs.Uint64("interval", 0, "total sampling interval (0 = 300k reduced default)")
+		seed     = fs.Uint64("seed", 1, "workload seed")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "engine worker pool size")
+		progress = fs.Bool("progress", false, "report per-cell progress on stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	size, err := dsmphase.ParseSize(*sizeArg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fc := dsmphase.FigureConfig{Size: size, Interval: *interval, Seed: *seed}
+	fc := dsmphase.FigureConfig{
+		Apps:     splitList(*apps),
+		Size:     size,
+		Interval: *interval,
+		Seed:     *seed,
+	}
+	opts := dsmphase.EngineOptions{Parallel: *parallel}
+	if *progress {
+		opts.Progress = func(done, total int, r dsmphase.CellResult) {
+			fmt.Fprintf(stderr, "[%d/%d] %s\n", done, total, r.Cell.Label())
+		}
+	}
 	start := time.Now()
 
-	fmt.Printf("# Experiment report (size=%s, seed=%d)\n\n", size, *seed)
+	fmt.Fprintf(stdout, "# Experiment report (size=%s, seed=%d)\n\n", size, *seed)
 
-	fig2, err := dsmphase.Figure2(fc, nil)
-	if err != nil {
-		fatal(err)
+	fig2 := dsmphase.RunPlan(dsmphase.FigurePlan(fc, []int{2, 8, 32},
+		[]dsmphase.DetectorKind{dsmphase.DetectorBBV}), opts)
+	reportFigure2(stdout, fig2)
+
+	fig4 := dsmphase.RunPlan(dsmphase.FigurePlan(fc, []int{8, 32},
+		[]dsmphase.DetectorKind{dsmphase.DetectorBBV, dsmphase.DetectorBBVDDV}), opts)
+	reportFigure4(stdout, fig4)
+
+	reportOverhead(stdout)
+
+	fmt.Fprintf(stderr, "total runtime: %v (parallel=%d)\n",
+		time.Since(start).Round(time.Millisecond), *parallel)
+
+	// Per-cell isolation keeps a partial report useful, but a run where
+	// every cell failed produced no evaluation at all — exit non-zero so
+	// scripted consumers notice.
+	if len(dsmphase.Curves(fig2)) == 0 && len(dsmphase.Curves(fig4)) == 0 {
+		if err := dsmphase.FirstError(fig2); err != nil {
+			return fmt.Errorf("every cell failed; first error: %w", err)
+		}
+		if err := dsmphase.FirstError(fig4); err != nil {
+			return fmt.Errorf("every cell failed; first error: %w", err)
+		}
 	}
-	reportFigure2(fig2)
+	return nil
+}
 
-	fig4, err := dsmphase.Figure4(fc, nil)
-	if err != nil {
-		fatal(err)
+// reportSkipped lists failed cells; the engine isolates them so the
+// rest of the figure still reports.
+func reportSkipped(w io.Writer, results []dsmphase.CellResult) {
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(w, "- skipped `%s`: %v\n", r.Cell.Label(), r.Err)
+		}
 	}
-	reportFigure4(fig4)
-
-	reportOverhead()
-
-	fmt.Printf("\n_Total runtime: %v._\n", time.Since(start).Round(time.Second))
 }
 
 // reportFigure2 prints the BBV degradation table and checks the paper's
 // claim that quality degrades with node count.
-func reportFigure2(results []dsmphase.CurveResult) {
-	fmt.Println("## Figure 2 — baseline BBV vs node count")
-	fmt.Println()
-	fmt.Println("| app | procs | CoV@10 | CoV@25 |")
-	fmt.Println("|---|---|---|---|")
-	type key struct{ app string }
-	covs := map[string][]float64{} // app -> CoV@25 by procs order
-	for _, c := range results {
+func reportFigure2(w io.Writer, results []dsmphase.CellResult) {
+	fmt.Fprintln(w, "## Figure 2 — baseline BBV vs node count")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| app | procs | CoV@10 | CoV@25 |")
+	fmt.Fprintln(w, "|---|---|---|---|")
+	covs := map[string][]float64{} // app -> CoV@25 in procs order
+	var appOrder []string
+	for _, c := range dsmphase.Curves(results) {
 		c10, c25 := c.Curve.CoVAt(10), c.Curve.CoVAt(25)
-		fmt.Printf("| %s | %d | %s | %s |\n", c.App, c.Procs, fmtCov(c10), fmtCov(c25))
+		fmt.Fprintf(w, "| %s | %d | %s | %s |\n", c.App, c.Procs, fmtCov(c10), fmtCov(c25))
+		if _, seen := covs[c.App]; !seen {
+			appOrder = append(appOrder, c.App)
+		}
 		covs[c.App] = append(covs[c.App], c25)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
+	reportSkipped(w, results)
 	pass := 0
-	for app, cs := range covs {
+	for _, app := range appOrder {
+		cs := covs[app]
 		if len(cs) >= 2 && cs[len(cs)-1] > cs[0] {
-			fmt.Printf("- `%s`: degradation from smallest to largest system ✓\n", app)
+			fmt.Fprintf(w, "- `%s`: degradation from smallest to largest system ✓\n", app)
 			pass++
 		} else {
-			fmt.Printf("- `%s`: no monotone degradation at the largest system ✗\n", app)
+			fmt.Fprintf(w, "- `%s`: no monotone degradation at the largest system ✗\n", app)
 		}
 	}
-	fmt.Printf("\n**Claim (quality degrades with node count): %d/%d applications.**\n\n",
-		pass, len(covs))
+	fmt.Fprintf(w, "\n**Claim (quality degrades with node count): %d/%d applications.**\n\n",
+		pass, len(appOrder))
 }
 
 // reportFigure4 prints the BBV vs BBV+DDV comparison and checks the
 // across-the-board improvement claim.
-func reportFigure4(results []dsmphase.CurveResult) {
-	fmt.Println("## Figure 4 — BBV vs BBV+DDV")
-	fmt.Println()
-	fmt.Println("| app | procs | BBV@25 | DDV@25 | gain |")
-	fmt.Println("|---|---|---|---|---|")
+func reportFigure4(w io.Writer, results []dsmphase.CellResult) {
+	fmt.Fprintln(w, "## Figure 4 — BBV vs BBV+DDV")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| app | procs | BBV@25 | DDV@25 | gain |")
+	fmt.Fprintln(w, "|---|---|---|---|---|")
 	type key struct {
 		app   string
 		procs int
@@ -92,7 +154,7 @@ func reportFigure4(results []dsmphase.CurveResult) {
 	bbv := map[key]dsmphase.CurveResult{}
 	ddv := map[key]dsmphase.CurveResult{}
 	var order []key
-	for _, c := range results {
+	for _, c := range dsmphase.Curves(results) {
 		k := key{c.App, c.Procs}
 		if c.Detector == dsmphase.DetectorBBV {
 			bbv[k] = c
@@ -116,26 +178,28 @@ func reportFigure4(results []dsmphase.CurveResult) {
 		case b25 > 0:
 			gain = "∞"
 		}
-		fmt.Printf("| %s | %d | %s | %s | %s |\n", k.app, k.procs, fmtCov(b25), fmtCov(d25), gain)
+		fmt.Fprintf(w, "| %s | %d | %s | %s | %s |\n", k.app, k.procs, fmtCov(b25), fmtCov(d25), gain)
 		total++
 		if d25 <= b25*1.0001 {
 			wins++
 		}
 	}
-	fmt.Printf("\n**Claim (BBV+DDV improves CoV across the board): %d/%d configurations.**\n\n",
+	fmt.Fprintln(w)
+	reportSkipped(w, results)
+	fmt.Fprintf(w, "**Claim (BBV+DDV improves CoV across the board): %d/%d configurations.**\n\n",
 		wins, total)
 }
 
 // reportOverhead prints the §III-B estimate against the paper's quote.
-func reportOverhead() {
+func reportOverhead(w io.Writer) {
 	o := dsmphase.PaperOverheadConfig()
 	bw := o.BandwidthPerProcessor()
 	frac := o.FractionOfController()
-	fmt.Println("## §III-B — DDS exchange overhead")
-	fmt.Println()
-	fmt.Printf("- bandwidth per processor: %.1f kB/s (paper: \"about 160kB/s\") %s\n",
+	fmt.Fprintln(w, "## §III-B — DDS exchange overhead")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "- bandwidth per processor: %.1f kB/s (paper: \"about 160kB/s\") %s\n",
 		bw/1e3, check(bw > 150e3 && bw < 170e3))
-	fmt.Printf("- fraction of 1.5 GB/s controller: %.4f%% (paper: \"under 0.15%%\") %s\n",
+	fmt.Fprintf(w, "- fraction of 1.5 GB/s controller: %.4f%% (paper: \"under 0.15%%\") %s\n",
 		100*frac, check(frac < 0.0015))
 }
 
@@ -153,7 +217,13 @@ func check(ok bool) string {
 	return "✗"
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// report runs the command end to end and returns its stdout.
+func report(t *testing.T, extra ...string) string {
+	t.Helper()
+	args := append([]string{"-size", "test", "-interval", "40000", "-apps", "lu", "-seed", "1"}, extra...)
+	var out, errOut bytes.Buffer
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run(%v): %v (stderr: %s)", args, err, errOut.String())
+	}
+	return out.String()
+}
+
+// TestParallelReportByteIdentical is the determinism acceptance check:
+// the markdown report must be byte-identical whatever the worker count.
+func TestParallelReportByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report run")
+	}
+	serial := report(t, "-parallel", "1")
+	for _, workers := range []string{"2", "4", "8"} {
+		if got := report(t, "-parallel", workers); got != serial {
+			t.Errorf("-parallel %s output differs from -parallel 1:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				workers, serial, got)
+		}
+	}
+}
+
+// TestReportSections checks the scorecard's shape.
+func TestReportSections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report run")
+	}
+	out := report(t, "-parallel", "4")
+	for _, want := range []string{
+		"# Experiment report (size=test, seed=1)",
+		"## Figure 2 — baseline BBV vs node count",
+		"## Figure 4 — BBV vs BBV+DDV",
+		"## §III-B — DDS exchange overhead",
+		"| lu | 8 |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "skipped") {
+		t.Errorf("healthy run reported skipped cells:\n%s", out)
+	}
+}
+
+// TestReportIsolatesUnknownWorkload checks that a failing cell is
+// reported and skipped while the rest of the report still renders.
+func TestReportIsolatesUnknownWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report run")
+	}
+	var out, errOut bytes.Buffer
+	args := []string{"-size", "test", "-interval", "40000", "-apps", "lu,nope", "-parallel", "4"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "skipped `nope") {
+		t.Errorf("report does not mention the skipped workload:\n%s", s)
+	}
+	if !strings.Contains(s, "| lu | 8 |") {
+		t.Errorf("healthy workload missing from report:\n%s", s)
+	}
+}
+
+// TestAllCellsFailingReturnsError checks that a run producing no
+// evaluation at all (every cell failed) exits non-zero, while partial
+// failures (TestReportIsolatesUnknownWorkload) still succeed.
+func TestAllCellsFailingReturnsError(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-size", "test", "-interval", "40000", "-apps", "nope"}, &out, &errOut)
+	if err == nil {
+		t.Error("all-cells-failed run returned nil")
+	}
+	if !strings.Contains(out.String(), "skipped `nope") {
+		t.Errorf("report body missing skip lines:\n%s", out.String())
+	}
+}
+
+// TestBadFlagsSurfaceErrors checks flag/size validation errors return
+// instead of os.Exit, keeping the command testable.
+func TestBadFlagsSurfaceErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-size", "galactic"}, &out, &errOut); err == nil {
+		t.Error("unknown size accepted")
+	}
+	if err := run([]string{"-no-such-flag"}, &out, &errOut); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

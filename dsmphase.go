@@ -149,6 +149,50 @@ type CurveResult = harness.CurveResult
 // FigureConfig scales a figure reproduction.
 type FigureConfig = harness.FigureConfig
 
+// ---- Sharded experiment engine ----
+
+// Cell is one independent experiment point of a Plan.
+type Cell = harness.Cell
+
+// Plan is an ordered list of experiment cells.
+type Plan = harness.Plan
+
+// CellResult is one cell's outcome, with per-cell error isolation.
+type CellResult = harness.CellResult
+
+// EngineOptions configures the parallel plan runner.
+type EngineOptions = harness.Options
+
+// Runner executes plans across a bounded goroutine pool.
+type Runner = harness.Runner
+
+// NewPlan returns an empty experiment plan.
+func NewPlan() *Plan { return harness.NewPlan() }
+
+// FigurePlan enumerates a figure's cells without running them.
+func FigurePlan(fc FigureConfig, procs []int, kinds []DetectorKind) *Plan {
+	return harness.FigurePlan(fc, procs, kinds)
+}
+
+// NewRunner returns a plan runner with the given options.
+func NewRunner(opts EngineOptions) *Runner { return harness.NewRunner(opts) }
+
+// RunPlan executes every cell of a plan across the worker pool and
+// returns results in plan order; worker count never changes the output.
+func RunPlan(p *Plan, opts EngineOptions) []CellResult { return harness.RunPlan(p, opts) }
+
+// Curves extracts the successful curves of a result set, in plan order.
+func Curves(results []CellResult) []CurveResult { return harness.Curves(results) }
+
+// FirstError returns the first failed cell's error, or nil.
+func FirstError(results []CellResult) error { return harness.FirstError(results) }
+
+// DeriveSeed deterministically derives a per-cell seed for multi-seed
+// sweeps, independent of enumeration order.
+func DeriveSeed(base uint64, workload string, procs, replicate int) uint64 {
+	return harness.DeriveSeed(base, workload, procs, replicate)
+}
+
 // Simulate runs one workload on the simulated machine.
 func Simulate(rc RunConfig) (*Machine, Summary, error) { return harness.Simulate(rc) }
 

@@ -6,41 +6,50 @@
 // dominate more of the CPI. Second, §III-B's overhead estimate: the DDS
 // exchange bandwidth grows as n(n−1) per interval yet stays a trivial
 // fraction of a memory controller's capacity.
+//
+// The six (app, procs) cells run on the sharded experiment engine;
+// -parallel bounds the worker pool and the table is identical for any
+// worker count.
 package main
 
 import (
+	"flag"
 	"fmt"
-	"log"
+	"os"
+	"runtime"
 
 	"dsmphase"
 )
 
 func main() {
-	fmt.Println("BBV degradation with system size (fmm + lu, small inputs):")
-	fmt.Printf("%-8s %-6s %-14s %-14s %-12s\n", "app", "procs", "CoV@10phases", "CoV@25phases", "remote%")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "engine worker pool size")
+	flag.Parse()
+
+	plan := dsmphase.NewPlan()
 	for _, app := range []string{"fmm", "lu"} {
 		for _, procs := range []int{2, 8, 32} {
-			rc := dsmphase.RunConfig{
+			plan.Add(dsmphase.RunConfig{
 				Workload:             app,
 				Size:                 dsmphase.SizeSmall,
 				Procs:                procs,
 				IntervalInstructions: 300_000 / uint64(procs),
 				Seed:                 1,
-			}
-			m, sum, err := dsmphase.Simulate(rc)
-			if err != nil {
-				log.Fatal(err)
-			}
-			bbv := dsmphase.SweepMachine(m, rc, dsmphase.DetectorBBV, sum)
-			var loc, rem uint64
-			for _, r := range m.Records() {
-				loc += r.LocalAccesses
-				rem += r.RemoteAccesses
-			}
-			fmt.Printf("%-8s %-6d %-14.4f %-14.4f %-12.1f\n",
-				app, procs, bbv.Curve.CoVAt(10), bbv.Curve.CoVAt(25),
-				100*float64(rem)/float64(loc+rem))
+			}, dsmphase.DetectorBBV)
 		}
+	}
+	results := dsmphase.RunPlan(plan, dsmphase.EngineOptions{Parallel: *parallel})
+
+	fmt.Println("BBV degradation with system size (fmm + lu, small inputs):")
+	fmt.Printf("%-8s %-6s %-14s %-14s %-12s\n", "app", "procs", "CoV@10phases", "CoV@25phases", "remote%")
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "scaling_study: skipping %s: %v\n", r.Cell.Label(), r.Err)
+			continue
+		}
+		c := r.Curve
+		fmt.Printf("%-8s %-6d %-14.4f %-14.4f %-12.1f\n",
+			c.App, c.Procs, c.Curve.CoVAt(10), c.Curve.CoVAt(25),
+			100*c.Summary.RemoteFraction())
 	}
 
 	fmt.Println("\nDDS exchange overhead (paper §III-B):")

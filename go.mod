@@ -1,0 +1,3 @@
+module dsmphase
+
+go 1.24

@@ -1,0 +1,311 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dsmphase/internal/core"
+	"dsmphase/internal/machine"
+	"dsmphase/internal/rng"
+	"dsmphase/internal/workloads"
+)
+
+// The sharded experiment engine. A figure or study is a Plan of
+// independent cells — one (workload, procs, seed, detector, tweak)
+// point each — and a Runner executes the plan across a bounded worker
+// pool. Cells that share a simulation (the same execution swept by
+// different detectors, as in Figure 4) are deduplicated through a
+// memoizing record cache, so BBV and BBV+DDV sweeps reuse one machine
+// run exactly as the serial harness did. Results are aggregated in plan
+// order regardless of completion order, which — together with the
+// deterministic simulator — makes the engine's output independent of
+// the worker count.
+
+// Cell is one independent experiment: simulate Run and sweep Kind's
+// default threshold grid over the recorded signatures.
+type Cell struct {
+	// Run describes the simulation half of the cell.
+	Run RunConfig
+	// Kind selects the detector swept over the recording.
+	Kind core.DetectorKind
+	// TweakKey names Run.Tweak for the record cache. Cells whose
+	// RunConfigs agree on (Workload, Size, Procs, Interval, Seed) and on
+	// TweakKey share one simulation. A cell with a non-nil Tweak and an
+	// empty TweakKey is never shared, because the function's effect is
+	// unknown to the cache.
+	TweakKey string
+}
+
+// Label returns the cell's display label ("lu 8P BBV+DDV").
+func (c Cell) Label() string {
+	return fmt.Sprintf("%s %dP %s", c.Run.Workload, c.Run.Procs, c.Kind)
+}
+
+// simKey is the record-cache identity of a cell's simulation half.
+type simKey struct {
+	workload string
+	size     workloads.Size
+	procs    int
+	interval uint64
+	seed     uint64
+	tweak    string
+}
+
+// simKeyAt returns the cell's cache key; idx uniquifies cells whose
+// Tweak cannot be identified.
+func (c Cell) simKeyAt(idx int) simKey {
+	k := simKey{
+		workload: c.Run.Workload,
+		size:     c.Run.Size,
+		procs:    c.Run.Procs,
+		interval: c.Run.IntervalInstructions,
+		seed:     c.Run.Seed,
+		tweak:    c.TweakKey,
+	}
+	if c.Run.Tweak != nil && c.TweakKey == "" {
+		k.tweak = fmt.Sprintf("\x00uncacheable-%d", idx)
+	}
+	return k
+}
+
+// Plan is an ordered list of cells. Order is significant: results come
+// back in plan order, so two runs of the same plan produce identical
+// output whatever the worker count.
+type Plan struct {
+	cells []Cell
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan { return &Plan{} }
+
+// Add appends one cell per detector kind, all sharing rc's simulation.
+func (p *Plan) Add(rc RunConfig, kinds ...core.DetectorKind) *Plan {
+	for _, k := range kinds {
+		p.cells = append(p.cells, Cell{Run: rc, Kind: k})
+	}
+	return p
+}
+
+// AddCell appends a fully specified cell (needed to attach a TweakKey).
+func (p *Plan) AddCell(c Cell) *Plan {
+	p.cells = append(p.cells, c)
+	return p
+}
+
+// Cells returns the plan's cells in order.
+func (p *Plan) Cells() []Cell { return p.cells }
+
+// Len returns the number of cells.
+func (p *Plan) Len() int { return len(p.cells) }
+
+// Simulations returns the number of distinct machine runs the record
+// cache will perform for this plan (the denominator of the memoization
+// saving).
+func (p *Plan) Simulations() int {
+	seen := make(map[simKey]bool, len(p.cells))
+	for i, c := range p.cells {
+		seen[c.simKeyAt(i)] = true
+	}
+	return len(seen)
+}
+
+// FigurePlan enumerates a figure's cells: every (app, procs) pair of fc
+// simulated once and swept by every requested detector — the engine
+// form of the serial runFigure loop, in the same app-major order.
+func FigurePlan(fc FigureConfig, procsList []int, kinds []core.DetectorKind) *Plan {
+	p := NewPlan()
+	for _, app := range fc.apps() {
+		for _, procs := range procsList {
+			p.Add(RunConfig{
+				Workload:             app,
+				Size:                 fc.Size,
+				Procs:                procs,
+				IntervalInstructions: fc.interval(procs),
+				Seed:                 fc.Seed,
+			}, kinds...)
+		}
+	}
+	return p
+}
+
+// DeriveSeed deterministically mixes a base seed with a cell's identity
+// and a replicate index. Multi-seed sweeps (confidence bands) must not
+// seed replicates sequentially — nearby splitmix states correlate — nor
+// depend on enumeration order; hashing the coordinates gives every cell
+// an independent, order-free stream.
+func DeriveSeed(base uint64, workload string, procs int, replicate int) uint64 {
+	h := rng.Hash64(base)
+	for _, b := range []byte(workload) {
+		h = rng.Hash64(h ^ uint64(b))
+	}
+	h = rng.Hash64(h ^ uint64(procs))
+	return rng.Hash64(h ^ uint64(replicate))
+}
+
+// CellResult is one cell's outcome. Err is per-cell: a diverging
+// workload reports here without sinking its siblings.
+type CellResult struct {
+	// Index is the cell's position in the plan.
+	Index int
+	// Cell echoes the executed cell.
+	Cell Cell
+	// Curve is the swept result; zero when Err is non-nil.
+	Curve CurveResult
+	// Err is the cell's simulation error, if any.
+	Err error
+}
+
+// Options configures a Runner.
+type Options struct {
+	// Parallel bounds the worker pool; <= 0 uses runtime.GOMAXPROCS(0).
+	Parallel int
+	// Progress, if non-nil, is called once per completed cell, with done
+	// counting completions (1..total). Calls are serialized; done is
+	// monotone but cells complete in execution order, not plan order.
+	Progress func(done, total int, r CellResult)
+}
+
+// Runner executes plans over a bounded goroutine pool.
+type Runner struct {
+	opts Options
+}
+
+// NewRunner returns a runner with the given options.
+func NewRunner(opts Options) *Runner { return &Runner{opts: opts} }
+
+// simEntry memoizes one simulation shared by several cells. The first
+// worker to reach the entry runs the machine; the rest block on the
+// Once and then sweep the shared records (sweeps only read them). refs
+// counts the cells still needing the machine: the last release drops
+// it, so a long plan's peak memory is bounded by the in-flight
+// simulations rather than every simulation it ever ran.
+type simEntry struct {
+	once sync.Once
+	m    *machine.Machine
+	sum  machine.Summary
+	err  error
+
+	mu   sync.Mutex
+	refs int
+}
+
+func (e *simEntry) simulate(rc RunConfig) (*machine.Machine, machine.Summary, error) {
+	e.once.Do(func() {
+		e.m, e.sum, e.err = Simulate(rc)
+	})
+	return e.m, e.sum, e.err
+}
+
+// release drops one cell's claim on the machine. Callers must not use
+// the returned machine after releasing.
+func (e *simEntry) release() {
+	e.mu.Lock()
+	e.refs--
+	if e.refs <= 0 {
+		e.m = nil
+	}
+	e.mu.Unlock()
+}
+
+// Run executes every cell of the plan and returns results in plan
+// order. It never returns early: each cell's error is isolated in its
+// CellResult.
+func (r *Runner) Run(p *Plan) []CellResult {
+	cells := p.Cells()
+	n := len(cells)
+	results := make([]CellResult, n)
+	if n == 0 {
+		return results
+	}
+	workers := r.opts.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Dispatch first-occurrence cells of each simulation before the
+	// duplicate-sweep cells: siblings sharing a simulation would only
+	// block on its Once, so front-loading the distinct simulations keeps
+	// every worker simulating while duplicates sweep cached records.
+	sims := make(map[simKey]*simEntry, n)
+	order := make([]int, 0, n)
+	var dups []int
+	for i, c := range cells {
+		k := c.simKeyAt(i)
+		if sims[k] == nil {
+			sims[k] = &simEntry{}
+			order = append(order, i)
+		} else {
+			dups = append(dups, i)
+		}
+		sims[k].refs++
+	}
+	order = append(order, dups...)
+
+	jobs := make(chan int)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				c := cells[i]
+				res := CellResult{Index: i, Cell: c}
+				e := sims[c.simKeyAt(i)]
+				m, sum, err := e.simulate(c.Run)
+				if err != nil {
+					res.Err = err
+				} else {
+					res.Curve = SweepMachine(m, c.Run, c.Kind, sum)
+				}
+				e.release()
+				results[i] = res
+				if r.opts.Progress != nil {
+					mu.Lock()
+					done++
+					r.opts.Progress(done, n, res)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, i := range order {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// RunPlan executes a plan with a one-shot runner.
+func RunPlan(p *Plan, opts Options) []CellResult {
+	return NewRunner(opts).Run(p)
+}
+
+// Curves extracts the successful curves of a result set, in plan order.
+func Curves(results []CellResult) []CurveResult {
+	out := make([]CurveResult, 0, len(results))
+	for _, r := range results {
+		if r.Err == nil {
+			out = append(out, r.Curve)
+		}
+	}
+	return out
+}
+
+// FirstError returns the first failed cell's error, or nil.
+func FirstError(results []CellResult) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}

@@ -24,6 +24,11 @@ type FigureConfig struct {
 	Interval uint64
 	// Seed drives the workloads.
 	Seed uint64
+	// Parallel bounds the engine's worker pool; <= 0 uses
+	// runtime.GOMAXPROCS(0). Output is identical for every value.
+	Parallel int
+	// Progress, if non-nil, receives one callback per completed cell.
+	Progress func(done, total int, r CellResult)
 }
 
 // Figure2 reproduces the baseline experiment: BBV-only CoV curves for
@@ -60,30 +65,21 @@ func (fc FigureConfig) interval(procs int) uint64 {
 	return 300_000 / uint64(procs)
 }
 
-// runFigure simulates each (app, procs) pair once and sweeps every
+// runFigure executes the figure's plan on the sharded engine. The
+// record cache simulates each (app, procs) pair once and sweeps every
 // requested detector over the same recorded signatures, so BBV and
-// BBV+DDV are compared on identical executions, as in the paper.
+// BBV+DDV are compared on identical executions, as in the paper. Any
+// cell error aborts the figure (commands wanting per-cell isolation
+// run the plan themselves via RunPlan).
 func runFigure(fc FigureConfig, procsList []int, kinds []core.DetectorKind) ([]CurveResult, error) {
-	var out []CurveResult
-	for _, app := range fc.apps() {
-		for _, procs := range procsList {
-			rc := RunConfig{
-				Workload:             app,
-				Size:                 fc.Size,
-				Procs:                procs,
-				IntervalInstructions: fc.interval(procs),
-				Seed:                 fc.Seed,
-			}
-			m, sum, err := Simulate(rc)
-			if err != nil {
-				return nil, err
-			}
-			for _, kind := range kinds {
-				out = append(out, SweepMachine(m, rc, kind, sum))
-			}
-		}
+	results := RunPlan(FigurePlan(fc, procsList, kinds), Options{
+		Parallel: fc.Parallel,
+		Progress: fc.Progress,
+	})
+	if err := FirstError(results); err != nil {
+		return nil, err
 	}
-	return out, nil
+	return Curves(results), nil
 }
 
 // WriteFigure prints every curve of a figure.

@@ -134,6 +134,21 @@ type Summary struct {
 	Intervals    int     // total recorded intervals across processors
 	Barriers     uint64  // barrier episodes released
 	IPC          float64 // aggregate committed instructions per cycle
+	// LocalAccesses and RemoteAccesses total the committed memory
+	// operations of every recorded interval, split by whether the line's
+	// home is the issuing node (the paper's data-distribution signal).
+	LocalAccesses  uint64
+	RemoteAccesses uint64
+}
+
+// RemoteFraction returns the share of recorded memory accesses whose
+// home is a remote node, or 0 for a run without memory accesses.
+func (s Summary) RemoteFraction() float64 {
+	total := s.LocalAccesses + s.RemoteAccesses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RemoteAccesses) / float64(total)
 }
 
 // Run drives all threads to completion and returns the run summary.
@@ -161,6 +176,10 @@ func (m *Machine) Run() (Summary, error) {
 		s.Intervals += len(p.records)
 		if p.clock > s.Cycles {
 			s.Cycles = p.clock
+		}
+		for _, r := range p.records {
+			s.LocalAccesses += r.LocalAccesses
+			s.RemoteAccesses += r.RemoteAccesses
 		}
 	}
 	s.Barriers = m.barriers
