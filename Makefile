@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check bench ci
+.PHONY: build test vet fmt fmt-check bench golden golden-update ci
 
 build:
 	$(GO) build ./...
@@ -28,4 +28,15 @@ fmt-check:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-ci: build fmt-check vet test bench
+# The byte-identity gates: every Report encoder against its golden
+# file, the replicates=1 Spec output against the legacy figure tables,
+# and the cmd/experiments report across worker counts — all under -race.
+golden:
+	$(GO) test -race -run 'TestGolden|TestSpecLegacyByteIdentity' ./internal/harness
+	$(GO) test -race -run 'TestParallelReportByteIdentical' ./cmd/experiments
+
+# Regenerate the encoder golden files after an intentional format change.
+golden-update:
+	$(GO) test -run 'TestGolden' -update ./internal/harness
+
+ci: build fmt-check vet test bench golden

@@ -229,16 +229,27 @@ func BenchmarkOverhead_Model(b *testing.B) {
 
 // BenchmarkOverhead_MeasuredGather compares simulated runtime with the
 // DDS gather charged versus free, measuring the mechanism's real cost on
-// the simulated network (the paper argues it is negligible).
+// the simulated network (the paper argues it is negligible). The two
+// settings are a named Spec grid; "charge=true" is the baseline
+// hardware, "charge=false" its keyed variant.
 func BenchmarkOverhead_MeasuredGather(b *testing.B) {
-	for _, charge := range []bool{false, true} {
-		b.Run(fmt.Sprintf("charge=%v", charge), func(b *testing.B) {
-			rc := benchRC("lu", 8)
-			rc.Tweak = func(c *machine.Config) { c.ChargeDDSGather = charge }
+	for _, variant := range []struct {
+		name string
+		opts []harness.Option
+	}{
+		{"charge=true", nil},
+		{"charge=false", []harness.Option{
+			harness.WithTweak("free-gather", "free-gather",
+				func(c *machine.Config) { c.ChargeDDSGather = false }),
+			harness.WithoutBaseline(),
+		}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			spec := benchSpec("lu", 8, core.DetectorBBVDDV, variant.opts...)
 			var cycles float64
 			for i := 0; i < b.N; i++ {
-				_, sum := simulateOnce(b, rc)
-				cycles = sum.Cycles
+				rep := runBenchSpec(b, spec)
+				cycles = rep.Configs[0].Curves[0].Summary.Cycles
 			}
 			b.ReportMetric(cycles, "simcycles")
 		})
@@ -246,6 +257,35 @@ func BenchmarkOverhead_MeasuredGather(b *testing.B) {
 }
 
 // ---- Ablations (DESIGN.md §6) ----
+//
+// The design-choice ablations are expressed as named Spec grids: each
+// variant is a WithTweak(name, key, fn) row, TweakKey-cached so every
+// detector sweeping a variant shares one simulation, and quality is
+// read from the aggregated Report band.
+
+// benchSpec builds a one-configuration Spec at the standard reduced
+// benchmark scale, plus any variant options.
+func benchSpec(app string, procs int, kind core.DetectorKind, extra ...harness.Option) *harness.Spec {
+	return harness.NewSpec(append([]harness.Option{
+		harness.WithApps(app),
+		harness.WithProcs(procs),
+		harness.WithDetectors(kind),
+		harness.WithSize(workloads.SizeTest),
+		harness.WithInterval(40_000),
+		harness.WithSeed(1),
+	}, extra...)...)
+}
+
+// runBenchSpec executes a Spec serially and fails the benchmark on any
+// cell error.
+func runBenchSpec(b *testing.B, spec *harness.Spec) *harness.Report {
+	b.Helper()
+	rep := spec.Run(harness.Options{Parallel: 1})
+	if err := rep.FirstError(); err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
 
 // BenchmarkAblation_Detector compares all three detector kinds on the
 // same workload, reporting classification quality.
@@ -265,17 +305,24 @@ func BenchmarkAblation_Detector(b *testing.B) {
 }
 
 // BenchmarkAblation_Contention removes the contention vector C from the
-// DDS product.
+// DDS product — the "no-contention" grid row.
 func BenchmarkAblation_Contention(b *testing.B) {
-	for _, ignore := range []bool{false, true} {
-		b.Run(fmt.Sprintf("ignoreC=%v", ignore), func(b *testing.B) {
-			rc := benchRC("art", 8)
-			rc.Tweak = func(c *machine.Config) { c.DDS.IgnoreContention = ignore }
+	for _, variant := range []struct {
+		name string
+		opts []harness.Option
+	}{
+		{"ignoreC=false", nil},
+		{"ignoreC=true", []harness.Option{
+			harness.WithTweak("no-contention", "dds-no-contention",
+				func(c *machine.Config) { c.DDS.IgnoreContention = true }),
+			harness.WithoutBaseline(),
+		}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			spec := benchSpec("art", 8, core.DetectorBBVDDV, variant.opts...)
 			var lastCoV float64
 			for i := 0; i < b.N; i++ {
-				m, sum := simulateOnce(b, rc)
-				c := harness.SweepMachine(m, rc, core.DetectorBBVDDV, sum)
-				lastCoV = c.Curve.CoVAt(25)
+				lastCoV = runBenchSpec(b, spec).Configs[0].Band.MeanAt(25)
 			}
 			b.ReportMetric(lastCoV, "CoV@25phases")
 		})
@@ -283,21 +330,54 @@ func BenchmarkAblation_Contention(b *testing.B) {
 }
 
 // BenchmarkAblation_Distance replaces the hop-based distance matrix with
-// all-ones.
+// all-ones — the "uniform-distance" grid row.
 func BenchmarkAblation_Distance(b *testing.B) {
-	for _, uniform := range []bool{false, true} {
-		b.Run(fmt.Sprintf("uniformD=%v", uniform), func(b *testing.B) {
-			rc := benchRC("lu", 8)
-			rc.Tweak = func(c *machine.Config) { c.UniformDistance = uniform }
+	for _, variant := range []struct {
+		name string
+		opts []harness.Option
+	}{
+		{"uniformD=false", nil},
+		{"uniformD=true", []harness.Option{
+			harness.WithTweak("uniform-distance", "uniform-distance",
+				func(c *machine.Config) { c.UniformDistance = true }),
+			harness.WithoutBaseline(),
+		}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			spec := benchSpec("lu", 8, core.DetectorBBVDDV, variant.opts...)
 			var lastCoV float64
 			for i := 0; i < b.N; i++ {
-				m, sum := simulateOnce(b, rc)
-				c := harness.SweepMachine(m, rc, core.DetectorBBVDDV, sum)
-				lastCoV = c.Curve.CoVAt(25)
+				lastCoV = runBenchSpec(b, spec).Configs[0].Band.MeanAt(25)
 			}
 			b.ReportMetric(lastCoV, "CoV@25phases")
 		})
 	}
+}
+
+// BenchmarkAblation_Grid runs the full DDS-design grid — baseline plus
+// both DDS tweaks, two detectors each — as one Spec, measuring the
+// engine's TweakKey record-cache sharing (three simulations serve six
+// sweeps).
+func BenchmarkAblation_Grid(b *testing.B) {
+	spec := benchSpec("lu", 8, core.DetectorBBVDDV,
+		harness.WithDetectors(core.DetectorBBV, core.DetectorBBVDDV),
+		harness.WithTweak("no-contention", "dds-no-contention",
+			func(c *machine.Config) { c.DDS.IgnoreContention = true }),
+		harness.WithTweak("uniform-distance", "uniform-distance",
+			func(c *machine.Config) { c.UniformDistance = true }),
+	)
+	if got, want := spec.Plan().Simulations(), 3; got != want {
+		b.Fatalf("grid runs %d simulations, want %d (TweakKey sharing)", got, want)
+	}
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		rep := runBenchSpec(b, spec)
+		// The headline ablation read-out: how much the contention vector
+		// matters at 25 phases.
+		base, noC := rep.Configs[1].Band.MeanAt(25), rep.Configs[3].Band.MeanAt(25)
+		gap = noC - base
+	}
+	b.ReportMetric(gap, "ΔCoV@25(no-contention)")
 }
 
 // BenchmarkAblation_FootprintSize varies the footprint-table capacity

@@ -3,10 +3,15 @@
 //	covcurve -figure 2                # baseline BBV at 2/8/32P, all apps
 //	covcurve -figure 4                # BBV vs BBV+DDV at 8/32P, all apps
 //	covcurve -apps lu -procs 8,32 -detector both -size small
+//	covcurve -figure 4 -replicates 5  # mean ± 95% CI bands across seeds
+//	covcurve -figure 4 -format csv    # csv / json / markdown encoders
 //	covcurve -figure 4 -size full -interval 3000000   # paper scale
 //
-// Output is one block per curve: "phases cov thBBV thDDS" rows suitable
-// for plotting (the paper's y axis is logarithmic).
+// Experiments are declared as Spec grids over the sharded engine and
+// rendered by a Report encoder. The default text format prints one
+// block per curve ("phases cov thBBV thDDS" rows, suitable for
+// plotting; the paper's y axis is logarithmic), or per-configuration
+// band tables (phases, mean, lo95, hi95, n) when -replicates exceeds 1.
 package main
 
 import (
@@ -23,17 +28,19 @@ import (
 
 func main() {
 	var (
-		figure   = flag.Int("figure", 0, "paper figure to regenerate: 2 or 4 (0 = custom)")
-		apps     = flag.String("apps", "", "comma-separated workloads (default: all four)")
-		procsArg = flag.String("procs", "", "comma-separated node counts (default per figure)")
-		sizeArg  = flag.String("size", "small", "input scale: test, small or full")
-		interval = flag.Uint64("interval", 0, "total sampling interval in instructions (split across nodes; 0 = 300k reduced-input default; paper: 3000000)")
-		detector = flag.String("detector", "", "bbv, ddv, dds or both (custom mode)")
-		seed     = flag.Uint64("seed", 1, "workload seed")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "engine worker pool size")
-		progress = flag.Bool("progress", false, "report per-cell progress on stderr")
-		compare  = flag.Bool("compare", false, "also print BBV vs BBV+DDV comparisons at 10/25 phases")
-		asciiPlt = flag.Bool("plot", false, "render ASCII charts (one panel per application, log y)")
+		figure     = flag.Int("figure", 0, "paper figure to regenerate: 2 or 4 (0 = custom)")
+		apps       = flag.String("apps", "", "comma-separated workloads, or a panel alias: paper, extended")
+		procsArg   = flag.String("procs", "", "comma-separated node counts (default per figure)")
+		sizeArg    = flag.String("size", "small", "input scale: test, small or full")
+		interval   = flag.Uint64("interval", 0, "total sampling interval in instructions (split across nodes; 0 = 300k reduced-input default; paper: 3000000)")
+		detector   = flag.String("detector", "", "bbv, ddv, dds, wss, both or all (custom mode)")
+		seed       = flag.Uint64("seed", 1, "workload base seed")
+		replicates = flag.Int("replicates", 1, "seeds per configuration (>1 emits 95% CI bands)")
+		format     = flag.String("format", "text", "report encoder: text, csv, json or markdown")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "engine worker pool size")
+		progress   = flag.Bool("progress", false, "report per-cell progress and ETA on stderr")
+		compare    = flag.Bool("compare", false, "also print BBV vs BBV+DDV comparisons at 10/25 phases (text format)")
+		asciiPlt   = flag.Bool("plot", false, "render ASCII charts (one panel per application, log y; text format, replicates=1)")
 	)
 	flag.Parse()
 
@@ -41,48 +48,96 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fc := dsmphase.FigureConfig{
-		Apps:     splitList(*apps),
-		Size:     size,
-		Interval: *interval,
-		Seed:     *seed,
-		Parallel: *parallel,
-	}
-	if *progress {
-		fc.Progress = func(done, total int, r dsmphase.CellResult) {
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, r.Cell.Label())
-		}
-	}
 	procs, err := parseProcs(*procsArg)
 	if err != nil {
 		fatal(err)
 	}
+	opts := dsmphase.EngineOptions{Parallel: *parallel}
+	if *progress {
+		opts.Progress = dsmphase.ProgressPrinter(os.Stderr)
+	}
 
-	var results []dsmphase.CurveResult
+	base := []dsmphase.SpecOption{
+		dsmphase.WithApps(splitList(*apps)...),
+		dsmphase.WithSize(size),
+		dsmphase.WithInterval(*interval),
+		dsmphase.WithSeed(*seed),
+		dsmphase.WithReplicates(*replicates),
+	}
+	var spec *dsmphase.Spec
 	var title string
-	switch {
-	case *figure == 2:
+	// strict mode (the figures) aborts on any cell error, matching the
+	// legacy Figure2/Figure4 helpers; custom mode isolates failures.
+	strict := false
+	switch *figure {
+	case 2:
 		title = "Figure 2: baseline BBV CoV curves"
-		results, err = dsmphase.Figure2(fc, procs)
-	case *figure == 4:
+		strict = true
+		if len(procs) == 0 {
+			procs = []int{2, 8, 32}
+		}
+		spec = dsmphase.NewSpec(append(base,
+			dsmphase.WithProcs(procs...),
+			dsmphase.WithDetectors(dsmphase.DetectorBBV),
+		)...)
+	case 4:
 		title = "Figure 4: BBV vs BBV+DDV CoV curves"
-		results, err = dsmphase.Figure4(fc, procs)
-	case *figure == 0:
+		strict = true
+		if len(procs) == 0 {
+			procs = []int{8, 32}
+		}
+		spec = dsmphase.NewSpec(append(base,
+			dsmphase.WithProcs(procs...),
+			dsmphase.WithDetectors(dsmphase.DetectorBBV, dsmphase.DetectorBBVDDV),
+		)...)
+	case 0:
 		title = "Custom CoV curves"
-		results, err = runCustom(fc, procs, *detector)
+		kinds, err := parseDetector(*detector)
+		if err != nil {
+			fatal(err)
+		}
+		if len(procs) == 0 {
+			procs = []int{8}
+		}
+		spec = dsmphase.NewSpec(append(base,
+			dsmphase.WithProcs(procs...),
+			dsmphase.WithDetectors(kinds...),
+		)...)
 	default:
 		fatal(fmt.Errorf("unknown figure %d (the paper has figures 2 and 4)", *figure))
 	}
+
+	enc, err := dsmphase.NewEncoder(*format, title)
 	if err != nil {
 		fatal(err)
 	}
-	if err := dsmphase.WriteFigure(os.Stdout, title, results); err != nil {
+	rep := spec.Run(opts)
+	if strict {
+		if err := rep.FirstError(); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, r := range rep.CellResults() {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "covcurve: skipping %s: %v\n", r.Cell.Label(), r.Err)
+			}
+		}
+	}
+	if err := enc.Encode(os.Stdout, rep); err != nil {
 		fatal(err)
 	}
-	if *asciiPlt {
+	if *format != "text" {
+		return // panels and comparisons are text-format companions
+	}
+	// rep.Replicates is the clamped count (the Spec treats n < 1 as 1),
+	// so -replicates 0 still gets the single-seed companions.
+	results := rep.Curves()
+	if *asciiPlt && rep.Replicates == 1 {
 		printPanels(results)
 	}
-	if *compare || *figure == 4 {
+	// The prose-style comparisons are per-seed; band runs carry their
+	// uncertainty in the table itself.
+	if (*compare || *figure == 4) && rep.Replicates == 1 {
 		printComparisons(results)
 	}
 }
@@ -114,32 +169,6 @@ func printPanels(results []dsmphase.CurveResult) {
 		}
 		fmt.Println(chart.Render())
 	}
-}
-
-// runCustom sweeps the requested detectors over each (app, procs) pair
-// on the sharded engine; the record cache runs each pair's simulation
-// once however many detectors sweep it. A failing cell is reported on
-// stderr and skipped, so one diverging configuration does not abort the
-// rest of the study.
-func runCustom(fc dsmphase.FigureConfig, procs []int, detector string) ([]dsmphase.CurveResult, error) {
-	kinds, err := parseDetector(detector)
-	if err != nil {
-		return nil, err
-	}
-	if len(procs) == 0 {
-		procs = []int{8}
-	}
-	plan := dsmphase.FigurePlan(fc, procs, kinds)
-	results := dsmphase.RunPlan(plan, dsmphase.EngineOptions{
-		Parallel: fc.Parallel,
-		Progress: fc.Progress,
-	})
-	for _, r := range results {
-		if r.Err != nil {
-			fmt.Fprintf(os.Stderr, "covcurve: skipping %s: %v\n", r.Cell.Label(), r.Err)
-		}
-	}
-	return dsmphase.Curves(results), nil
 }
 
 func parseDetector(s string) ([]dsmphase.DetectorKind, error) {

@@ -1,15 +1,19 @@
 // Command experiments runs the paper's full evaluation — Figure 2,
 // Figure 4 and the §III-B overhead estimate — and emits a markdown
-// scorecard in the style of EXPERIMENTS.md, including pass/fail checks
-// of the paper's qualitative claims.
+// scorecard including pass/fail checks of the paper's qualitative
+// claims.
 //
-// Simulation cells run on the sharded experiment engine: -parallel N
-// bounds the worker pool (default: all CPUs), and the report is
+// The evaluation is declared as Spec grids on the sharded experiment
+// engine: -parallel N bounds the worker pool (default: all CPUs),
+// -replicates N runs every configuration under N derived seeds and
+// reports mean ± 95% CI columns, and -ablation appends the named
+// DDS-design ablation grid as a markdown scorecard. The report is
 // byte-identical for every worker count. A cell that fails (e.g. a
 // diverging workload) is reported and skipped; its siblings still run.
 //
 //	experiments -size small > report.md
 //	experiments -size small -parallel 8 -progress > report.md
+//	experiments -size small -replicates 5 -ablation > report.md
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"time"
 
 	"dsmphase"
+	"dsmphase/internal/network"
 )
 
 func main() {
@@ -39,14 +44,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		sizeArg  = fs.String("size", "small", "input scale: test, small or full")
-		apps     = fs.String("apps", "", "comma-separated workloads (default: the paper's four)")
-		interval = fs.Uint64("interval", 0, "total sampling interval (0 = 300k reduced default)")
-		seed     = fs.Uint64("seed", 1, "workload seed")
-		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "engine worker pool size")
-		progress = fs.Bool("progress", false, "report per-cell progress on stderr")
+		sizeArg    = fs.String("size", "small", "input scale: test, small or full")
+		apps       = fs.String("apps", "", "comma-separated workloads, or a panel alias: paper, extended")
+		interval   = fs.Uint64("interval", 0, "total sampling interval (0 = 300k reduced default)")
+		seed       = fs.Uint64("seed", 1, "workload base seed")
+		replicates = fs.Int("replicates", 1, "seeds per configuration (>1 adds 95% CI columns)")
+		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "engine worker pool size")
+		progress   = fs.Bool("progress", false, "report per-cell progress and ETA on stderr")
+		ablation   = fs.Bool("ablation", false, "append the DDS-design ablation scorecard")
 	)
 	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil // -h printed the usage; not a failure
+		}
 		return err
 	}
 
@@ -54,31 +64,44 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fc := dsmphase.FigureConfig{
-		Apps:     splitList(*apps),
-		Size:     size,
-		Interval: *interval,
-		Seed:     *seed,
+	base := []dsmphase.SpecOption{
+		dsmphase.WithApps(splitList(*apps)...),
+		dsmphase.WithSize(size),
+		dsmphase.WithInterval(*interval),
+		dsmphase.WithSeed(*seed),
+		dsmphase.WithReplicates(*replicates),
 	}
-	opts := dsmphase.EngineOptions{Parallel: *parallel}
-	if *progress {
-		opts.Progress = func(done, total int, r dsmphase.CellResult) {
-			fmt.Fprintf(stderr, "[%d/%d] %s\n", done, total, r.Cell.Label())
+	// Each Spec.Run gets a fresh printer so the ETA never mixes plans.
+	makeOpts := func() dsmphase.EngineOptions {
+		opts := dsmphase.EngineOptions{Parallel: *parallel}
+		if *progress {
+			opts.Progress = dsmphase.ProgressPrinter(stderr)
 		}
+		return opts
 	}
 	start := time.Now()
 
 	fmt.Fprintf(stdout, "# Experiment report (size=%s, seed=%d)\n\n", size, *seed)
 
-	fig2 := dsmphase.RunPlan(dsmphase.FigurePlan(fc, []int{2, 8, 32},
-		[]dsmphase.DetectorKind{dsmphase.DetectorBBV}), opts)
+	fig2 := dsmphase.NewSpec(append(base,
+		dsmphase.WithProcs(2, 8, 32),
+		dsmphase.WithDetectors(dsmphase.DetectorBBV),
+	)...).Run(makeOpts())
 	reportFigure2(stdout, fig2)
 
-	fig4 := dsmphase.RunPlan(dsmphase.FigurePlan(fc, []int{8, 32},
-		[]dsmphase.DetectorKind{dsmphase.DetectorBBV, dsmphase.DetectorBBVDDV}), opts)
+	fig4 := dsmphase.NewSpec(append(base,
+		dsmphase.WithProcs(8, 32),
+		dsmphase.WithDetectors(dsmphase.DetectorBBV, dsmphase.DetectorBBVDDV),
+	)...).Run(makeOpts())
 	reportFigure4(stdout, fig4)
 
 	reportOverhead(stdout)
+
+	if *ablation {
+		if err := reportAblation(stdout, base, makeOpts()); err != nil {
+			return err
+		}
+	}
 
 	fmt.Fprintf(stderr, "total runtime: %v (parallel=%d)\n",
 		time.Since(start).Round(time.Millisecond), *parallel)
@@ -86,14 +109,47 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// Per-cell isolation keeps a partial report useful, but a run where
 	// every cell failed produced no evaluation at all — exit non-zero so
 	// scripted consumers notice.
-	if len(dsmphase.Curves(fig2)) == 0 && len(dsmphase.Curves(fig4)) == 0 {
-		if err := dsmphase.FirstError(fig2); err != nil {
+	if len(fig2.Curves()) == 0 && len(fig4.Curves()) == 0 {
+		if err := fig2.FirstError(); err != nil {
 			return fmt.Errorf("every cell failed; first error: %w", err)
 		}
-		if err := dsmphase.FirstError(fig4); err != nil {
+		if err := fig4.FirstError(); err != nil {
 			return fmt.Errorf("every cell failed; first error: %w", err)
 		}
 	}
+	return nil
+}
+
+// ablationSpec is the named DDS-design ablation grid: each variant
+// disables one ingredient of the data distribution scalar (the
+// contention vector, the hop-distance matrix) or swaps the network for
+// the 2D-mesh topology, all TweakKey-cached so every detector sweep of
+// a variant shares one simulation.
+func ablationSpec(base []dsmphase.SpecOption) *dsmphase.Spec {
+	return dsmphase.NewSpec(append(base,
+		dsmphase.WithProcs(8),
+		dsmphase.WithDetectors(dsmphase.DetectorBBVDDV),
+		dsmphase.WithTweak("no-contention", "dds-no-contention",
+			func(c *dsmphase.MachineConfig) { c.DDS.IgnoreContention = true }),
+		dsmphase.WithTweak("uniform-distance", "uniform-distance",
+			func(c *dsmphase.MachineConfig) { c.UniformDistance = true }),
+		dsmphase.WithTweak("mesh-2d", "mesh-2d",
+			func(c *dsmphase.MachineConfig) { c.Topology = network.KindMesh2D }),
+	)...)
+}
+
+// reportAblation runs the ablation grid and appends its markdown
+// scorecard.
+func reportAblation(w io.Writer, base []dsmphase.SpecOption, opts dsmphase.EngineOptions) error {
+	rep := ablationSpec(base).Run(opts)
+	enc, err := dsmphase.NewEncoder("markdown", "Ablation — DDS design choices")
+	if err != nil {
+		return err
+	}
+	if err := enc.Encode(w, rep); err != nil {
+		return err
+	}
+	reportSkipped(w, rep.CellResults())
 	return nil
 }
 
@@ -108,24 +164,39 @@ func reportSkipped(w io.Writer, results []dsmphase.CellResult) {
 }
 
 // reportFigure2 prints the BBV degradation table and checks the paper's
-// claim that quality degrades with node count.
-func reportFigure2(w io.Writer, results []dsmphase.CellResult) {
+// claim that quality degrades with node count. At several replicates
+// the CoV columns are across-seed means and a 95% CI column appears.
+func reportFigure2(w io.Writer, rep *dsmphase.Report) {
 	fmt.Fprintln(w, "## Figure 2 — baseline BBV vs node count")
 	fmt.Fprintln(w)
-	fmt.Fprintln(w, "| app | procs | CoV@10 | CoV@25 |")
-	fmt.Fprintln(w, "|---|---|---|---|")
+	ci := rep.Replicates > 1
+	if ci {
+		fmt.Fprintln(w, "| app | procs | CoV@10 | CoV@25 | ±CI@25 |")
+		fmt.Fprintln(w, "|---|---|---|---|---|")
+	} else {
+		fmt.Fprintln(w, "| app | procs | CoV@10 | CoV@25 |")
+		fmt.Fprintln(w, "|---|---|---|---|")
+	}
 	covs := map[string][]float64{} // app -> CoV@25 in procs order
 	var appOrder []string
-	for _, c := range dsmphase.Curves(results) {
-		c10, c25 := c.Curve.CoVAt(10), c.Curve.CoVAt(25)
-		fmt.Fprintf(w, "| %s | %d | %s | %s |\n", c.App, c.Procs, fmtCov(c10), fmtCov(c25))
-		if _, seen := covs[c.App]; !seen {
-			appOrder = append(appOrder, c.App)
+	for _, c := range rep.Configs {
+		if len(c.Curves) == 0 {
+			continue
 		}
-		covs[c.App] = append(covs[c.App], c25)
+		c10, c25 := c.Band.MeanAt(10), c.Band.MeanAt(25)
+		if ci {
+			fmt.Fprintf(w, "| %s | %d | %s | %s | %s |\n",
+				c.Config.App, c.Config.Procs, fmtCov(c10), fmtCov(c25), fmtCov(c.Band.HalfAt(25)))
+		} else {
+			fmt.Fprintf(w, "| %s | %d | %s | %s |\n", c.Config.App, c.Config.Procs, fmtCov(c10), fmtCov(c25))
+		}
+		if _, seen := covs[c.Config.App]; !seen {
+			appOrder = append(appOrder, c.Config.App)
+		}
+		covs[c.Config.App] = append(covs[c.Config.App], c25)
 	}
 	fmt.Fprintln(w)
-	reportSkipped(w, results)
+	reportSkipped(w, rep.CellResults())
 	pass := 0
 	for _, app := range appOrder {
 		cs := covs[app]
@@ -142,21 +213,31 @@ func reportFigure2(w io.Writer, results []dsmphase.CellResult) {
 
 // reportFigure4 prints the BBV vs BBV+DDV comparison and checks the
 // across-the-board improvement claim.
-func reportFigure4(w io.Writer, results []dsmphase.CellResult) {
+func reportFigure4(w io.Writer, rep *dsmphase.Report) {
 	fmt.Fprintln(w, "## Figure 4 — BBV vs BBV+DDV")
 	fmt.Fprintln(w)
-	fmt.Fprintln(w, "| app | procs | BBV@25 | DDV@25 | gain |")
-	fmt.Fprintln(w, "|---|---|---|---|---|")
+	ci := rep.Replicates > 1
+	if ci {
+		fmt.Fprintln(w, "| app | procs | BBV@25 | DDV@25 | gain | ±CI(DDV) |")
+		fmt.Fprintln(w, "|---|---|---|---|---|---|")
+	} else {
+		fmt.Fprintln(w, "| app | procs | BBV@25 | DDV@25 | gain |")
+		fmt.Fprintln(w, "|---|---|---|---|---|")
+	}
 	type key struct {
 		app   string
 		procs int
 	}
-	bbv := map[key]dsmphase.CurveResult{}
-	ddv := map[key]dsmphase.CurveResult{}
+	bbv := map[key]*dsmphase.ConfigResult{}
+	ddv := map[key]*dsmphase.ConfigResult{}
 	var order []key
-	for _, c := range dsmphase.Curves(results) {
-		k := key{c.App, c.Procs}
-		if c.Detector == dsmphase.DetectorBBV {
+	for i := range rep.Configs {
+		c := &rep.Configs[i]
+		if len(c.Curves) == 0 {
+			continue
+		}
+		k := key{c.Config.App, c.Config.Procs}
+		if c.Config.Detector == dsmphase.DetectorBBV {
 			bbv[k] = c
 			order = append(order, k)
 		} else {
@@ -170,7 +251,7 @@ func reportFigure4(w io.Writer, results []dsmphase.CellResult) {
 		if !okB || !okD {
 			continue
 		}
-		b25, d25 := dsmphase.CompareAtPhases(b, d, 25)
+		b25, d25 := b.Band.MeanAt(25), d.Band.MeanAt(25)
 		gain := "—"
 		switch {
 		case d25 > 0:
@@ -178,14 +259,19 @@ func reportFigure4(w io.Writer, results []dsmphase.CellResult) {
 		case b25 > 0:
 			gain = "∞"
 		}
-		fmt.Fprintf(w, "| %s | %d | %s | %s | %s |\n", k.app, k.procs, fmtCov(b25), fmtCov(d25), gain)
+		if ci {
+			fmt.Fprintf(w, "| %s | %d | %s | %s | %s | %s |\n",
+				k.app, k.procs, fmtCov(b25), fmtCov(d25), gain, fmtCov(d.Band.HalfAt(25)))
+		} else {
+			fmt.Fprintf(w, "| %s | %d | %s | %s | %s |\n", k.app, k.procs, fmtCov(b25), fmtCov(d25), gain)
+		}
 		total++
 		if d25 <= b25*1.0001 {
 			wins++
 		}
 	}
 	fmt.Fprintln(w)
-	reportSkipped(w, results)
+	reportSkipped(w, rep.CellResults())
 	fmt.Fprintf(w, "**Claim (BBV+DDV improves CoV across the board): %d/%d configurations.**\n\n",
 		wins, total)
 }

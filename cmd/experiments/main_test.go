@@ -99,3 +99,81 @@ func TestBadFlagsSurfaceErrors(t *testing.T) {
 		t.Error("unknown flag accepted")
 	}
 }
+
+// TestReplicatesAddCIColumns checks the multi-seed path: -replicates
+// above 1 switches both figure tables to mean ± 95% CI form.
+func TestReplicatesAddCIColumns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report run")
+	}
+	out := report(t, "-replicates", "2", "-parallel", "4")
+	for _, want := range []string{
+		"| app | procs | CoV@10 | CoV@25 | ±CI@25 |",
+		"| app | procs | BBV@25 | DDV@25 | gain | ±CI(DDV) |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("replicated report missing %q:\n%s", want, out)
+		}
+	}
+	// And the default single-seed report must NOT carry the CI columns.
+	if single := report(t, "-parallel", "4"); strings.Contains(single, "±CI@25") {
+		t.Error("single-seed report grew CI columns")
+	}
+}
+
+// TestAblationScorecard checks that -ablation appends the named
+// DDS-design grid as a markdown scorecard with every variant row.
+func TestAblationScorecard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report run")
+	}
+	out := report(t, "-ablation", "-parallel", "4")
+	for _, want := range []string{
+		"## Ablation — DDS design choices",
+		"| variant | app | procs | detector |",
+		"| baseline | lu | 8 | BBV+DDV |",
+		"| no-contention | lu | 8 | BBV+DDV |",
+		"| uniform-distance | lu | 8 | BBV+DDV |",
+		"| mesh-2d | lu | 8 | BBV+DDV |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation report missing %q:\n%s", want, out)
+		}
+	}
+	if report(t, "-parallel", "4") == out {
+		t.Error("-ablation changed nothing")
+	}
+}
+
+// TestExtendedPanelAlias checks that -apps extended expands to the
+// paper panel plus ocean and radix.
+func TestExtendedPanelAlias(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report run")
+	}
+	var out, errOut bytes.Buffer
+	args := []string{"-size", "test", "-interval", "40000", "-apps", "extended"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run(%v): %v (stderr: %s)", args, err, errOut.String())
+	}
+	for _, app := range []string{"fmm", "lu", "equake", "art", "ocean", "radix"} {
+		if !strings.Contains(out.String(), "| "+app+" | 8 |") {
+			t.Errorf("extended panel missing %s", app)
+		}
+	}
+	if strings.Contains(out.String(), "skipped") {
+		t.Errorf("extended panel skipped cells:\n%s", out.String())
+	}
+}
+
+// TestHelpIsNotAnError checks that -h prints the usage and exits
+// cleanly instead of surfacing flag.ErrHelp as a failure.
+func TestHelpIsNotAnError(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-h"}, &out, &errOut); err != nil {
+		t.Errorf("-h returned %v", err)
+	}
+	if !strings.Contains(errOut.String(), "-size") {
+		t.Errorf("usage not printed:\n%s", errOut.String())
+	}
+}

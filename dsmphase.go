@@ -15,16 +15,25 @@
 //     SPEC-OMP Art and Equake (Table II), plus the experiment harness
 //     that regenerates the paper's CoV curves (Figures 2 and 4).
 //
-// Quick start:
+// Quick start — declare an experiment grid, run it, encode the report:
 //
-//	rc := dsmphase.RunConfig{Workload: "lu", Size: dsmphase.SizeTest,
-//		Procs: 8, IntervalInstructions: 30_000, Seed: 1}
-//	bbv, err := dsmphase.RunCurve(rc, dsmphase.DetectorBBV)
-//	ddv, err := dsmphase.RunCurve(rc, dsmphase.DetectorBBVDDV)
-//	// compare bbv.Curve and ddv.Curve — the paper's Figure 4.
+//	spec := dsmphase.NewSpec(
+//		dsmphase.WithApps("lu"),
+//		dsmphase.WithDetectors(dsmphase.DetectorBBV, dsmphase.DetectorBBVDDV),
+//		dsmphase.WithSize(dsmphase.SizeTest),
+//		dsmphase.WithReplicates(5), // mean ± 95% CI across seeds
+//	)
+//	report := spec.Run(dsmphase.EngineOptions{})
+//	enc, _ := dsmphase.NewEncoder("text", "Figure 4")
+//	enc.Encode(os.Stdout, report) // or "csv", "json", "markdown"
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record.
+// The legacy one-shot helpers (RunCurve, Figure2, Figure4) remain as
+// thin wrappers — their single-seed output is unchanged — but new code
+// should build a Spec: it is the only surface with replicates,
+// confidence bands, named ablation variants and pluggable encoders.
+//
+// See DESIGN.md for the system inventory; cmd/experiments regenerates
+// the paper-versus-measured scorecard.
 package dsmphase
 
 import (
@@ -193,6 +202,103 @@ func DeriveSeed(base uint64, workload string, procs, replicate int) uint64 {
 	return harness.DeriveSeed(base, workload, procs, replicate)
 }
 
+// NewETA returns a progress ETA estimator for Options.Progress hooks.
+func NewETA() *ETA { return harness.NewETA() }
+
+// ProgressPrinter returns a Progress callback printing per-cell
+// completions with timing and an ETA; use one per Run.
+func ProgressPrinter(w io.Writer) func(done, total int, r CellResult) {
+	return harness.ProgressPrinter(w)
+}
+
+// ETA estimates remaining run time from completed cells.
+type ETA = harness.ETA
+
+// ---- Declarative experiments: Spec → Report ----
+
+// Spec declaratively describes an experiment grid — workloads × procs ×
+// detectors × replicates × named machine variants — compiled onto the
+// sharded engine.
+type Spec = harness.Spec
+
+// SpecOption configures a Spec (see the With* constructors).
+type SpecOption = harness.Option
+
+// Variant is one named machine configuration of an ablation grid.
+type Variant = harness.Variant
+
+// Configuration identifies one aggregated grid point of a Spec.
+type Configuration = harness.Configuration
+
+// ConfigResult is one configuration's replicates, curves and band.
+type ConfigResult = harness.ConfigResult
+
+// Report is an executed Spec: per-configuration aggregated results.
+type Report = harness.Report
+
+// Band is a CoV curve with across-replicate 95% confidence bounds.
+type Band = stats.Band
+
+// BandPoint is one phase-budget point of a Band.
+type BandPoint = stats.BandPoint
+
+// Encoder renders a Report in one output format.
+type Encoder = harness.Encoder
+
+// NewSpec builds an experiment Spec from functional options.
+func NewSpec(opts ...SpecOption) *Spec { return harness.NewSpec(opts...) }
+
+// WithApps selects applications; a single panel alias ("paper",
+// "extended") expands to its member list.
+func WithApps(apps ...string) SpecOption { return harness.WithApps(apps...) }
+
+// WithProcs selects processor counts.
+func WithProcs(procs ...int) SpecOption { return harness.WithProcs(procs...) }
+
+// WithDetectors selects the detectors swept over each simulation.
+func WithDetectors(kinds ...DetectorKind) SpecOption { return harness.WithDetectors(kinds...) }
+
+// WithSize selects the workload input scale.
+func WithSize(size Size) SpecOption { return harness.WithSize(size) }
+
+// WithInterval sets the total sampling interval (split across nodes).
+func WithInterval(interval uint64) SpecOption { return harness.WithInterval(interval) }
+
+// WithSeed sets the base seed; replicates derive from it via DeriveSeed.
+func WithSeed(seed uint64) SpecOption { return harness.WithSeed(seed) }
+
+// WithReplicates runs every configuration under n seeds and aggregates
+// mean ± 95% CI bands.
+func WithReplicates(n int) SpecOption { return harness.WithReplicates(n) }
+
+// WithTweak appends a named, cache-keyed machine variant (one ablation
+// grid row).
+func WithTweak(name, key string, tweak func(*MachineConfig)) SpecOption {
+	return harness.WithTweak(name, key, tweak)
+}
+
+// WithoutBaseline drops the implicit baseline variant from the grid.
+func WithoutBaseline() SpecOption { return harness.WithoutBaseline() }
+
+// NewEncoder returns the named Report encoder ("text", "csv", "json",
+// "markdown").
+func NewEncoder(name, title string) (Encoder, error) { return harness.NewEncoder(name, title) }
+
+// EncoderNames returns the registered encoder names.
+func EncoderNames() []string { return harness.EncoderNames() }
+
+// AppsPanel returns a named application panel ("paper", "extended").
+func AppsPanel(name string) ([]string, bool) { return harness.AppsPanel(name) }
+
+// ResolveApps expands a panel alias; empty resolves to the paper panel.
+func ResolveApps(apps []string) []string { return harness.ResolveApps(apps) }
+
+// Figure2Spec builds the declarative form of Figure 2.
+func Figure2Spec(fc FigureConfig, procs []int) *Spec { return harness.Figure2Spec(fc, procs) }
+
+// Figure4Spec builds the declarative form of Figure 4.
+func Figure4Spec(fc FigureConfig, procs []int) *Spec { return harness.Figure4Spec(fc, procs) }
+
 // Simulate runs one workload on the simulated machine.
 func Simulate(rc RunConfig) (*Machine, Summary, error) { return harness.Simulate(rc) }
 
@@ -213,11 +319,21 @@ func Sweep(recs [][]IntervalSignature, sc SweepConfig) []CurvePoint {
 }
 
 // Figure2 regenerates the baseline BBV degradation curves (paper Fig. 2).
+//
+// Deprecated: Figure2 wraps the Spec/Report API with a single seed and
+// the text table only; its output is unchanged. New code should run
+// Figure2Spec(fc, procs) (plus WithReplicates via NewSpec) to get
+// confidence bands and the other encoders.
 func Figure2(fc FigureConfig, procs []int) ([]CurveResult, error) {
 	return harness.Figure2(fc, procs)
 }
 
 // Figure4 regenerates the BBV versus BBV+DDV curves (paper Fig. 4).
+//
+// Deprecated: Figure4 wraps the Spec/Report API with a single seed and
+// the text table only; its output is unchanged. New code should run
+// Figure4Spec(fc, procs) to get confidence bands and the other
+// encoders.
 func Figure4(fc FigureConfig, procs []int) ([]CurveResult, error) {
 	return harness.Figure4(fc, procs)
 }

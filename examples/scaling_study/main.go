@@ -7,9 +7,11 @@
 // exchange bandwidth grows as n(n−1) per interval yet stays a trivial
 // fraction of a memory controller's capacity.
 //
-// The six (app, procs) cells run on the sharded experiment engine;
-// -parallel bounds the worker pool and the table is identical for any
-// worker count.
+// The study is one declarative Spec — two applications × three node
+// counts × -replicates seeds — run on the sharded experiment engine, so
+// the degradation claim carries a 95% confidence interval instead of a
+// single seed's luck. -parallel bounds the worker pool and the table is
+// identical for any worker count.
 package main
 
 import (
@@ -23,33 +25,34 @@ import (
 
 func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "engine worker pool size")
+	replicates := flag.Int("replicates", 3, "seeds per configuration")
 	flag.Parse()
 
-	plan := dsmphase.NewPlan()
-	for _, app := range []string{"fmm", "lu"} {
-		for _, procs := range []int{2, 8, 32} {
-			plan.Add(dsmphase.RunConfig{
-				Workload:             app,
-				Size:                 dsmphase.SizeSmall,
-				Procs:                procs,
-				IntervalInstructions: 300_000 / uint64(procs),
-				Seed:                 1,
-			}, dsmphase.DetectorBBV)
-		}
-	}
-	results := dsmphase.RunPlan(plan, dsmphase.EngineOptions{Parallel: *parallel})
+	spec := dsmphase.NewSpec(
+		dsmphase.WithApps("fmm", "lu"),
+		dsmphase.WithProcs(2, 8, 32),
+		dsmphase.WithDetectors(dsmphase.DetectorBBV),
+		dsmphase.WithSize(dsmphase.SizeSmall),
+		dsmphase.WithInterval(300_000),
+		dsmphase.WithSeed(1),
+		dsmphase.WithReplicates(*replicates),
+	)
+	report := spec.Run(dsmphase.EngineOptions{Parallel: *parallel})
 
-	fmt.Println("BBV degradation with system size (fmm + lu, small inputs):")
-	fmt.Printf("%-8s %-6s %-14s %-14s %-12s\n", "app", "procs", "CoV@10phases", "CoV@25phases", "remote%")
-	for _, r := range results {
-		if r.Err != nil {
-			fmt.Fprintf(os.Stderr, "scaling_study: skipping %s: %v\n", r.Cell.Label(), r.Err)
+	fmt.Printf("BBV degradation with system size (fmm + lu, small inputs, %d seeds):\n", *replicates)
+	fmt.Printf("%-8s %-6s %-22s %-22s %-12s\n", "app", "procs", "CoV@10 (95% CI)", "CoV@25 (95% CI)", "remote%")
+	for _, c := range report.Configs {
+		if err := c.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "scaling_study: skipping %s: %v\n", c.Config.Label(), err)
 			continue
 		}
-		c := r.Curve
-		fmt.Printf("%-8s %-6d %-14.4f %-14.4f %-12.1f\n",
-			c.App, c.Procs, c.Curve.CoVAt(10), c.Curve.CoVAt(25),
-			100*c.Summary.RemoteFraction())
+		// The remote fraction barely varies with the seed; the first
+		// replicate's summary stands in for the configuration.
+		fmt.Printf("%-8s %-6d %7.4f ± %-12.4f %7.4f ± %-12.4f %-12.1f\n",
+			c.Config.App, c.Config.Procs,
+			c.Band.MeanAt(10), c.Band.HalfAt(10),
+			c.Band.MeanAt(25), c.Band.HalfAt(25),
+			100*c.Curves[0].Summary.RemoteFraction())
 	}
 
 	fmt.Println("\nDDS exchange overhead (paper §III-B):")

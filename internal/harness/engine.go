@@ -2,8 +2,10 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"dsmphase/internal/core"
 	"dsmphase/internal/machine"
@@ -154,6 +156,11 @@ type CellResult struct {
 	Curve CurveResult
 	// Err is the cell's simulation error, if any.
 	Err error
+	// Wall is the cell's wall-clock time (simulation — or the wait on a
+	// sibling's shared simulation — plus the sweep). It is the one field
+	// that varies across identical runs; determinism comparisons must
+	// ignore it and encoders must not emit it.
+	Wall time.Duration
 }
 
 // Options configures a Runner.
@@ -258,6 +265,7 @@ func (r *Runner) Run(p *Plan) []CellResult {
 			for i := range jobs {
 				c := cells[i]
 				res := CellResult{Index: i, Cell: c}
+				start := time.Now()
 				e := sims[c.simKeyAt(i)]
 				m, sum, err := e.simulate(c.Run)
 				if err != nil {
@@ -266,6 +274,7 @@ func (r *Runner) Run(p *Plan) []CellResult {
 					res.Curve = SweepMachine(m, c.Run, c.Kind, sum)
 				}
 				e.release()
+				res.Wall = time.Since(start)
 				results[i] = res
 				if r.opts.Progress != nil {
 					mu.Lock()
@@ -287,6 +296,43 @@ func (r *Runner) Run(p *Plan) []CellResult {
 // RunPlan executes a plan with a one-shot runner.
 func RunPlan(p *Plan, opts Options) []CellResult {
 	return NewRunner(opts).Run(p)
+}
+
+// ETA estimates a run's remaining wall time from completed cells,
+// intended for Options.Progress callbacks: feed it each completion and
+// print what it returns. Cells vary widely in cost (a 32P full-size
+// simulation versus a cached sweep), so the estimate is the plain
+// completed-rate extrapolation — robust, monotone-improving, and free
+// of per-workload modelling.
+type ETA struct {
+	start time.Time
+}
+
+// NewETA starts the clock.
+func NewETA() *ETA { return &ETA{start: time.Now()} }
+
+// Observe reports the elapsed time and the estimated remaining time
+// after done of total cells have completed. done must be ≥ 1.
+func (e *ETA) Observe(done, total int) (elapsed, remaining time.Duration) {
+	elapsed = time.Since(e.start)
+	if done <= 0 || done >= total {
+		return elapsed, 0
+	}
+	per := elapsed / time.Duration(done)
+	return elapsed, per * time.Duration(total-done)
+}
+
+// ProgressPrinter returns an Options.Progress callback that prints one
+// "[done/total] label (cell 12ms, eta 3s)" line per completed cell to
+// w, with a fresh ETA clock. Use one printer per Run so the estimator
+// never mixes plans.
+func ProgressPrinter(w io.Writer) func(done, total int, r CellResult) {
+	eta := NewETA()
+	return func(done, total int, r CellResult) {
+		_, remaining := eta.Observe(done, total)
+		fmt.Fprintf(w, "[%d/%d] %s (cell %v, eta %v)\n", done, total, r.Cell.Label(),
+			r.Wall.Round(time.Millisecond), remaining.Round(100*time.Millisecond))
+	}
 }
 
 // Curves extracts the successful curves of a result set, in plan order.

@@ -20,6 +20,16 @@ func engineFC() FigureConfig {
 	}
 }
 
+// stripWall zeroes the per-cell wall-clock timings, the one CellResult
+// field that legitimately differs between identical runs.
+func stripWall(rs []CellResult) []CellResult {
+	out := append([]CellResult(nil), rs...)
+	for i := range out {
+		out[i].Wall = 0
+	}
+	return out
+}
+
 // TestRunnerMatchesSerial is the engine's core determinism contract:
 // for a fixed seed the parallel runner's Figure 2 and Figure 4 results
 // are identical to the serial path at every worker count.
@@ -37,9 +47,9 @@ func TestRunnerMatchesSerial(t *testing.T) {
 	} {
 		t.Run(fig.name, func(t *testing.T) {
 			plan := FigurePlan(engineFC(), fig.procs, fig.kinds)
-			serial := RunPlan(plan, Options{Parallel: 1})
+			serial := stripWall(RunPlan(plan, Options{Parallel: 1}))
 			for _, workers := range []int{2, 3, 8} {
-				parallel := RunPlan(plan, Options{Parallel: workers})
+				parallel := stripWall(RunPlan(plan, Options{Parallel: workers}))
 				if !reflect.DeepEqual(serial, parallel) {
 					t.Errorf("results at %d workers differ from serial", workers)
 				}

@@ -197,6 +197,132 @@ func AverageCurves(curves [][]CurvePoint) []CurvePoint {
 	return out
 }
 
+// tCrit975 holds two-sided 95% Student-t critical values for small
+// degrees of freedom; beyond the table the normal quantile is close
+// enough. Replicate counts are single digits in practice, so the exact
+// small-sample quantiles matter.
+var tCrit975 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// MeanCI95 returns the sample mean of xs and the half-width of its 95%
+// confidence interval (Student-t, sample standard deviation). A single
+// observation — or none — has zero half-width: the band degenerates to
+// the point estimate rather than pretending at uncertainty it cannot
+// measure.
+func MeanCI95(xs []float64) (mean, half float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	mean = Mean(xs)
+	if n == 1 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	df := n - 1
+	t := 1.960
+	if df <= len(tCrit975) {
+		t = tCrit975[df-1]
+	}
+	return mean, t * sd / math.Sqrt(float64(n))
+}
+
+// BandPoint is one phase-count point of a confidence band: the mean CoV
+// achievable within Phases phases across replicates, with a 95% CI.
+type BandPoint struct {
+	// Phases is the phase budget the point is evaluated at.
+	Phases float64
+	// Mean is the mean best CoV within the budget across replicates.
+	Mean float64
+	// Lo and Hi bound the 95% confidence interval (mean ± t·s/√n).
+	Lo, Hi float64
+	// N counts the replicates contributing a finite value at this budget.
+	N int
+}
+
+// Band is a CoV curve with uncertainty: the across-replicate aggregate
+// of several single-seed curves. Points are sorted by Phases.
+type Band struct {
+	Points []BandPoint
+}
+
+// BandAcross aggregates replicate curves into a confidence band. The
+// band is evaluated on the union grid of every curve's phase values:
+// at each budget, each curve contributes its best CoV within the budget
+// (Curve.CoVAt), and the finite values are summarized by MeanCI95.
+// Curves enter symmetrically, so the result is independent of their
+// order. Replicates whose envelopes never reach a budget are excluded
+// at that point (N records how many contributed).
+func BandAcross(curves []Curve) Band {
+	grid := map[float64]bool{}
+	for _, c := range curves {
+		for _, p := range c.Points {
+			grid[p.Phases] = true
+		}
+	}
+	phases := make([]float64, 0, len(grid))
+	for ph := range grid {
+		phases = append(phases, ph)
+	}
+	sort.Float64s(phases)
+	var b Band
+	vals := make([]float64, 0, len(curves))
+	for _, ph := range phases {
+		vals = vals[:0]
+		for _, c := range curves {
+			if v := c.CoVAt(ph); !math.IsInf(v, 1) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		mean, half := MeanCI95(vals)
+		b.Points = append(b.Points, BandPoint{
+			Phases: ph,
+			Mean:   mean,
+			Lo:     mean - half,
+			Hi:     mean + half,
+			N:      len(vals),
+		})
+	}
+	return b
+}
+
+// At returns the smallest mean CoV achievable with at most maxPhases
+// phases — the band analogue of Curve.CoVAt — together with the CI
+// half-width of the point that attains it. An unreachable budget
+// reports (+Inf, 0).
+func (b Band) At(maxPhases float64) (mean, half float64) {
+	mean = math.Inf(1)
+	for _, p := range b.Points {
+		if p.Phases <= maxPhases && p.Mean < mean {
+			mean, half = p.Mean, p.Hi-p.Mean
+		}
+	}
+	return mean, half
+}
+
+// MeanAt returns the mean half of At(maxPhases).
+func (b Band) MeanAt(maxPhases float64) float64 {
+	mean, _ := b.At(maxPhases)
+	return mean
+}
+
+// HalfAt returns the half-width half of At(maxPhases).
+func (b Band) HalfAt(maxPhases float64) float64 {
+	_, half := b.At(maxPhases)
+	return half
+}
+
 // GeomSpace returns n values spaced geometrically from lo to hi inclusive.
 // lo and hi must be positive and n ≥ 2. It is used to generate the
 // paper's ~200 threshold values.

@@ -251,3 +251,77 @@ func TestSpacesPanic(t *testing.T) {
 		}()
 	}
 }
+
+func TestMeanCI95(t *testing.T) {
+	// Known case: xs = {1, 2, 3}: mean 2, sample sd 1, t(df=2) = 4.303,
+	// half-width = 4.303/√3.
+	mean, half := MeanCI95([]float64{1, 2, 3})
+	if !almostEq(mean, 2, 1e-12) {
+		t.Errorf("mean = %v", mean)
+	}
+	if !almostEq(half, 4.303/math.Sqrt(3), 1e-9) {
+		t.Errorf("half = %v, want t·s/√n = %v", half, 4.303/math.Sqrt(3))
+	}
+	// Degenerate inputs collapse to the point estimate.
+	if m, h := MeanCI95([]float64{7}); m != 7 || h != 0 {
+		t.Errorf("single observation = (%v, %v)", m, h)
+	}
+	if m, h := MeanCI95(nil); m != 0 || h != 0 {
+		t.Errorf("empty = (%v, %v)", m, h)
+	}
+	// Identical replicates have zero width whatever the count.
+	if _, h := MeanCI95([]float64{3, 3, 3, 3}); h != 0 {
+		t.Errorf("identical replicates half = %v", h)
+	}
+	// Large n falls back to the normal quantile.
+	big := make([]float64, 100)
+	for i := range big {
+		big[i] = float64(i % 2)
+	}
+	_, h := MeanCI95(big)
+	sd := math.Sqrt(float64(len(big)) / float64(len(big)-1) * 0.25)
+	if !almostEq(h, 1.960*sd/10, 1e-9) {
+		t.Errorf("large-n half = %v", h)
+	}
+}
+
+func TestBandAcross(t *testing.T) {
+	a := Curve{Points: []CurvePoint{{Phases: 2, CoV: 0.5}, {Phases: 10, CoV: 0.2}}}
+	b := Curve{Points: []CurvePoint{{Phases: 4, CoV: 0.4}, {Phases: 10, CoV: 0.3}}}
+	band := BandAcross([]Curve{a, b})
+	// Union grid: 2, 4, 10. At phases=2 only curve a has a point.
+	if len(band.Points) != 3 {
+		t.Fatalf("band has %d points, want 3", len(band.Points))
+	}
+	if p := band.Points[0]; p.Phases != 2 || p.N != 1 || !almostEq(p.Mean, 0.5, 1e-12) {
+		t.Errorf("phases=2 point = %+v", p)
+	}
+	// At phases=4, a contributes its best within the budget (0.5), b 0.4.
+	if p := band.Points[1]; p.N != 2 || !almostEq(p.Mean, 0.45, 1e-12) {
+		t.Errorf("phases=4 point = %+v", p)
+	}
+	if p := band.Points[2]; p.N != 2 || !almostEq(p.Mean, 0.25, 1e-12) {
+		t.Errorf("phases=10 point = %+v", p)
+	}
+	// Order independence: curves enter symmetrically.
+	flip := BandAcross([]Curve{b, a})
+	for i := range band.Points {
+		if band.Points[i] != flip.Points[i] {
+			t.Errorf("band depends on curve order at %d: %+v vs %+v",
+				i, band.Points[i], flip.Points[i])
+		}
+	}
+	// MeanAt/HalfAt mirror Curve.CoVAt semantics.
+	if v := band.MeanAt(5); !almostEq(v, 0.45, 1e-12) {
+		t.Errorf("MeanAt(5) = %v", v)
+	}
+	if !math.IsInf(band.MeanAt(1), 1) {
+		t.Error("MeanAt below the grid must be +Inf")
+	}
+	if h := band.HalfAt(1); h != 0 {
+		t.Errorf("HalfAt below the grid = %v", h)
+	}
+	if len(BandAcross(nil).Points) != 0 {
+		t.Error("empty input must give an empty band")
+	}
+}
