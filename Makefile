@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check bench golden golden-update ci
+.PHONY: build test vet fmt fmt-check bench golden golden-update tuning-smoke ci
 
 build:
 	$(GO) build ./...
@@ -28,15 +28,23 @@ fmt-check:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# The byte-identity gates: every Report encoder against its golden
-# file, the replicates=1 Spec output against the legacy figure tables,
-# and the cmd/experiments report across worker counts — all under -race.
+# The byte-identity gates: every Report and TuningReport encoder
+# against its golden file (the TestGolden pattern covers both
+# families), the replicates=1 Spec output against the legacy figure
+# tables, and the cmd/experiments report — including the -tuning
+# scorecard — across worker counts, all under -race.
 golden:
 	$(GO) test -race -run 'TestGolden|TestSpecLegacyByteIdentity' ./internal/harness
-	$(GO) test -race -run 'TestParallelReportByteIdentical' ./cmd/experiments
+	$(GO) test -race -run 'TestParallelReportByteIdentical|TestTuningScorecardDeterministic' ./cmd/experiments
 
-# Regenerate the encoder golden files after an intentional format change.
+# Regenerate the encoder golden files (report and tuning scorecard)
+# after an intentional format change.
 golden-update:
 	$(GO) test -run 'TestGolden' -update ./internal/harness
 
-ci: build fmt-check vet test bench golden
+# End-to-end smoke of the closed adaptive-tuning loop: the -tuning
+# scorecard must render with confidence bands on a real (tiny) grid.
+tuning-smoke:
+	$(GO) run ./cmd/experiments -size test -interval 40000 -apps lu -replicates 2 -tuning > /dev/null
+
+ci: build fmt-check vet test bench golden tuning-smoke

@@ -433,6 +433,39 @@ func BenchmarkAblation_SweepVsResim(b *testing.B) {
 	})
 }
 
+// BenchmarkAblation_TuningLoop runs the closed adaptive-tuning loop —
+// detector × predictor × controller on live simulations — and reports
+// the headline ablation read-out: how much the DDS-aware detector's win
+// rate exceeds the BBV baseline's under the best predictor.
+func BenchmarkAblation_TuningLoop(b *testing.B) {
+	spec := benchSpec("lu", 4, core.DetectorBBVDDV,
+		harness.WithDetectors(core.DetectorBBV, core.DetectorBBVDDV),
+		harness.WithPredictors("last-phase", "markov", "run-length"),
+		harness.WithControllers(harness.ControllerSpec{Name: "trial-1", TrialsPerConfig: 1}),
+	)
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		rep, err := spec.RunTuning(harness.Options{Parallel: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.FirstError(); err != nil {
+			b.Fatal(err)
+		}
+		best := func(kind core.DetectorKind) float64 {
+			win := 0.0
+			for _, c := range rep.Configs {
+				if c.Config.Detector == kind && c.WinRate.Mean > win {
+					win = c.WinRate.Mean
+				}
+			}
+			return win
+		}
+		gap = best(core.DetectorBBVDDV) - best(core.DetectorBBV)
+	}
+	b.ReportMetric(gap, "Δwin-rate(DDV-BBV)")
+}
+
 // ---- Micro-benchmarks of detector hot paths ----
 
 func BenchmarkManhattan(b *testing.B) {

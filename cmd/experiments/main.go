@@ -52,6 +52,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "engine worker pool size")
 		progress   = fs.Bool("progress", false, "report per-cell progress and ETA on stderr")
 		ablation   = fs.Bool("ablation", false, "append the DDS-design ablation scorecard")
+		tuningFlag = fs.Bool("tuning", false, "append the adaptive-tuning win-rate scorecard (detector × predictor × controller)")
+		tuningFmt  = fs.String("tuning-format", "markdown", "tuning scorecard format: text, csv, json or markdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -63,6 +65,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	size, err := dsmphase.ParseSize(*sizeArg)
 	if err != nil {
 		return err
+	}
+	// Validate the tuning format before any simulation runs: a typo must
+	// fail in milliseconds, not after the figure grids finished.
+	var tuningEnc dsmphase.TuningEncoder
+	if *tuningFlag {
+		tuningEnc, err = dsmphase.NewTuningEncoder(*tuningFmt,
+			"Adaptive tuning — detector × predictor × controller")
+		if err != nil {
+			return err
+		}
 	}
 	base := []dsmphase.SpecOption{
 		dsmphase.WithApps(splitList(*apps)...),
@@ -99,6 +111,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	if *ablation {
 		if err := reportAblation(stdout, base, makeOpts()); err != nil {
+			return err
+		}
+	}
+
+	if *tuningFlag {
+		if err := reportTuning(stdout, tuningEnc, base, makeOpts()); err != nil {
 			return err
 		}
 	}
@@ -153,6 +171,23 @@ func reportAblation(w io.Writer, base []dsmphase.SpecOption, opts dsmphase.Engin
 	return nil
 }
 
+// reportTuning closes the adaptive loop end to end: the detector ×
+// predictor × controller grid runs on live simulations (thresholds
+// picked from each cell's CoV curve within the phase budget, recorded
+// intervals classified into phase streams, one online AdaptiveLoop per
+// processor) and lands as a replicate-banded win-rate scorecard in the
+// chosen format.
+func reportTuning(w io.Writer, enc dsmphase.TuningEncoder, base []dsmphase.SpecOption, opts dsmphase.EngineOptions) error {
+	spec := dsmphase.NewSpec(append(base,
+		dsmphase.WithDetectors(dsmphase.DetectorBBV, dsmphase.DetectorBBVDDV),
+	)...)
+	rep, err := spec.RunTuning(opts)
+	if err != nil {
+		return err
+	}
+	return enc.Encode(w, rep)
+}
+
 // reportSkipped lists failed cells; the engine isolates them so the
 // rest of the figure still reports.
 func reportSkipped(w io.Writer, results []dsmphase.CellResult) {
@@ -163,9 +198,23 @@ func reportSkipped(w io.Writer, results []dsmphase.CellResult) {
 	}
 }
 
+// bandAt is one configuration's CoV@25 point: the across-replicate mean
+// and the 95% CI half-width (zero at one replicate).
+type bandAt struct {
+	mean, half float64
+}
+
+func (b bandAt) lo() float64 { return b.mean - b.half }
+func (b bandAt) hi() float64 { return b.mean + b.half }
+
 // reportFigure2 prints the BBV degradation table and checks the paper's
 // claim that quality degrades with node count. At several replicates
-// the CoV columns are across-seed means and a 95% CI column appears.
+// the CoV columns are across-seed means, a 95% CI column appears, and
+// the claim is interval-aware: a pass needs the whole CoV@25 sequence
+// non-decreasing in node count AND the smallest and largest systems'
+// confidence bands to separate — overlapping bands are not a
+// statistically supported degradation. At one replicate the check falls
+// back to comparing bare means over the full sequence.
 func reportFigure2(w io.Writer, rep *dsmphase.Report) {
 	fmt.Fprintln(w, "## Figure 2 — baseline BBV vs node count")
 	fmt.Fprintln(w)
@@ -177,34 +226,48 @@ func reportFigure2(w io.Writer, rep *dsmphase.Report) {
 		fmt.Fprintln(w, "| app | procs | CoV@10 | CoV@25 |")
 		fmt.Fprintln(w, "|---|---|---|---|")
 	}
-	covs := map[string][]float64{} // app -> CoV@25 in procs order
+	covs := map[string][]bandAt{} // app -> CoV@25 band in procs order
 	var appOrder []string
 	for _, c := range rep.Configs {
 		if len(c.Curves) == 0 {
 			continue
 		}
-		c10, c25 := c.Band.MeanAt(10), c.Band.MeanAt(25)
+		c10 := c.Band.MeanAt(10)
+		c25, half25 := c.Band.At(25)
 		if ci {
 			fmt.Fprintf(w, "| %s | %d | %s | %s | %s |\n",
-				c.Config.App, c.Config.Procs, fmtCov(c10), fmtCov(c25), fmtCov(c.Band.HalfAt(25)))
+				c.Config.App, c.Config.Procs, fmtCov(c10), fmtCov(c25), fmtCov(half25))
 		} else {
 			fmt.Fprintf(w, "| %s | %d | %s | %s |\n", c.Config.App, c.Config.Procs, fmtCov(c10), fmtCov(c25))
 		}
 		if _, seen := covs[c.Config.App]; !seen {
 			appOrder = append(appOrder, c.Config.App)
 		}
-		covs[c.Config.App] = append(covs[c.Config.App], c25)
+		covs[c.Config.App] = append(covs[c.Config.App], bandAt{mean: c25, half: half25})
 	}
 	fmt.Fprintln(w)
 	reportSkipped(w, rep.CellResults())
 	pass := 0
 	for _, app := range appOrder {
 		cs := covs[app]
-		if len(cs) >= 2 && cs[len(cs)-1] > cs[0] {
-			fmt.Fprintf(w, "- `%s`: degradation from smallest to largest system ✓\n", app)
+		monotone := len(cs) >= 2
+		for i := 1; i < len(cs); i++ {
+			if cs[i].mean < cs[i-1].mean {
+				monotone = false
+				break
+			}
+		}
+		switch {
+		case !monotone || cs[len(cs)-1].mean <= cs[0].mean:
+			fmt.Fprintf(w, "- `%s`: no monotone degradation across node counts ✗\n", app)
+		case ci && cs[len(cs)-1].lo() <= cs[0].hi():
+			fmt.Fprintf(w, "- `%s`: degradation within CI overlap (not significant) ✗\n", app)
+		case ci:
+			fmt.Fprintf(w, "- `%s`: monotone degradation across node counts (CI-separated) ✓\n", app)
 			pass++
-		} else {
-			fmt.Fprintf(w, "- `%s`: no monotone degradation at the largest system ✗\n", app)
+		default:
+			fmt.Fprintf(w, "- `%s`: monotone degradation across node counts ✓\n", app)
+			pass++
 		}
 	}
 	fmt.Fprintf(w, "\n**Claim (quality degrades with node count): %d/%d applications.**\n\n",
@@ -212,7 +275,11 @@ func reportFigure2(w io.Writer, rep *dsmphase.Report) {
 }
 
 // reportFigure4 prints the BBV vs BBV+DDV comparison and checks the
-// across-the-board improvement claim.
+// across-the-board improvement claim. At several replicates the check
+// is interval-aware: a configuration counts as a win only when the
+// detectors' 95% CI bands at the 25-phase budget separate (DDV's upper
+// bound below BBV's lower bound) — an overlapping-CI "win" proves
+// nothing. At one replicate it falls back to comparing bare means.
 func reportFigure4(w io.Writer, rep *dsmphase.Report) {
 	fmt.Fprintln(w, "## Figure 4 — BBV vs BBV+DDV")
 	fmt.Fprintln(w)
@@ -251,7 +318,8 @@ func reportFigure4(w io.Writer, rep *dsmphase.Report) {
 		if !okB || !okD {
 			continue
 		}
-		b25, d25 := b.Band.MeanAt(25), d.Band.MeanAt(25)
+		b25, bHalf := b.Band.At(25)
+		d25, dHalf := d.Band.At(25)
 		gain := "—"
 		switch {
 		case d25 > 0:
@@ -261,19 +329,29 @@ func reportFigure4(w io.Writer, rep *dsmphase.Report) {
 		}
 		if ci {
 			fmt.Fprintf(w, "| %s | %d | %s | %s | %s | %s |\n",
-				k.app, k.procs, fmtCov(b25), fmtCov(d25), gain, fmtCov(d.Band.HalfAt(25)))
+				k.app, k.procs, fmtCov(b25), fmtCov(d25), gain, fmtCov(dHalf))
 		} else {
 			fmt.Fprintf(w, "| %s | %d | %s | %s | %s |\n", k.app, k.procs, fmtCov(b25), fmtCov(d25), gain)
 		}
 		total++
-		if d25 <= b25*1.0001 {
+		if ci {
+			// A win needs the CI bands to separate, not just the means.
+			if d25+dHalf < b25-bHalf {
+				wins++
+			}
+		} else if d25 <= b25*1.0001 {
 			wins++
 		}
 	}
 	fmt.Fprintln(w)
 	reportSkipped(w, rep.CellResults())
-	fmt.Fprintf(w, "**Claim (BBV+DDV improves CoV across the board): %d/%d configurations.**\n\n",
-		wins, total)
+	if ci {
+		fmt.Fprintf(w, "**Claim (BBV+DDV improves CoV across the board, CI-separated): %d/%d configurations.**\n\n",
+			wins, total)
+	} else {
+		fmt.Fprintf(w, "**Claim (BBV+DDV improves CoV across the board): %d/%d configurations.**\n\n",
+			wins, total)
+	}
 }
 
 // reportOverhead prints the §III-B estimate against the paper's quote.

@@ -145,6 +145,62 @@ func TestAblationScorecard(t *testing.T) {
 	}
 }
 
+// TestTuningScorecard checks that -tuning appends the adaptive-tuning
+// win-rate scorecard with every detector × predictor × controller row.
+func TestTuningScorecard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report run")
+	}
+	out := report(t, "-tuning", "-parallel", "4")
+	for _, want := range []string{
+		"## Adaptive tuning — detector × predictor × controller",
+		"| variant | app | procs | detector | predictor | controller | win-rate | ±CI | regret | converge | accuracy | overhead |",
+		"| baseline | lu | 8 | BBV | last-phase | trial-1 |",
+		"| baseline | lu | 8 | BBV | markov | trial-2 |",
+		"| baseline | lu | 8 | BBV+DDV | run-length | trial-1 |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tuning report missing %q:\n%s", want, out)
+		}
+	}
+	if report(t, "-parallel", "4") == out {
+		t.Error("-tuning changed nothing")
+	}
+}
+
+// TestTuningScorecardDeterministic is the tuning acceptance check: the
+// scorecard must be byte-identical whatever the worker count, in every
+// encoder format.
+func TestTuningScorecardDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report run")
+	}
+	// Two formats suffice here: per-format byte identity across worker
+	// counts is pinned for all four encoders by the internal harness
+	// test (TestRunTuningDeterministic); this covers the cmd wiring.
+	for _, format := range []string{"markdown", "json"} {
+		serial := report(t, "-tuning", "-tuning-format", format, "-replicates", "2", "-parallel", "1")
+		if got := report(t, "-tuning", "-tuning-format", format, "-replicates", "2", "-parallel", "8"); got != serial {
+			t.Errorf("%s: -parallel 8 tuning scorecard differs from -parallel 1:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				format, serial, got)
+		}
+	}
+}
+
+// TestTuningFormatValidation checks an unknown -tuning-format surfaces
+// as an error instead of a silent default.
+func TestTuningFormatValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report run")
+	}
+	var out, errOut bytes.Buffer
+	args := []string{"-size", "test", "-interval", "40000", "-apps", "lu",
+		"-tuning", "-tuning-format", "yaml"}
+	if err := run(args, &out, &errOut); err == nil {
+		t.Error("unknown tuning format accepted")
+	}
+}
+
 // TestExtendedPanelAlias checks that -apps extended expands to the
 // paper panel plus ocean and radix.
 func TestExtendedPanelAlias(t *testing.T) {

@@ -280,6 +280,20 @@ func WithTweak(name, key string, tweak func(*MachineConfig)) SpecOption {
 // WithoutBaseline drops the implicit baseline variant from the grid.
 func WithoutBaseline() SpecOption { return harness.WithoutBaseline() }
 
+// WithPredictors selects the phase predictors of a tuning grid by name
+// ("last-phase", "markov", "run-length"); empty keeps the full registry.
+func WithPredictors(names ...string) SpecOption { return harness.WithPredictors(names...) }
+
+// WithControllers selects the tuning controllers of a tuning grid; empty
+// keeps DefaultControllers.
+func WithControllers(specs ...ControllerSpec) SpecOption {
+	return harness.WithControllers(specs...)
+}
+
+// WithPhaseBudget bounds how many phases a tuning controller will trial;
+// detector thresholds are picked from the CoV curve within this budget.
+func WithPhaseBudget(budget float64) SpecOption { return harness.WithPhaseBudget(budget) }
+
 // NewEncoder returns the named Report encoder ("text", "csv", "json",
 // "markdown").
 func NewEncoder(name, title string) (Encoder, error) { return harness.NewEncoder(name, title) }
@@ -414,13 +428,86 @@ func ReplayTuning(c *TuningController, phases []int, scores [][]float64) TuningO
 }
 
 // AdaptiveLoop couples a phase predictor with a tuning controller — the
-// complete detector → predictor → reconfiguration pipeline of §II.
+// complete detector → predictor → reconfiguration pipeline of §II. It
+// is driven online, one interval at a time, through AdaptiveLoop.Step;
+// Replay remains the offline convenience over recorded sequences.
 type AdaptiveLoop = tuning.AdaptiveLoop
 
-// AdaptiveOutcome extends TuningOutcome with prediction accounting.
+// AdaptiveOutcome extends TuningOutcome with prediction, win-rate and
+// convergence accounting.
 type AdaptiveOutcome = tuning.AdaptiveOutcome
 
 // NewAdaptiveLoop builds the predictive tuning loop.
 func NewAdaptiveLoop(c *TuningController, p Predictor) *AdaptiveLoop {
 	return tuning.NewAdaptiveLoop(c, p)
 }
+
+// PredictorByName constructs a fresh predictor by registry name
+// ("last-phase", "markov", "run-length").
+func PredictorByName(name string) (Predictor, error) { return predictor.ByName(name) }
+
+// PredictorNames returns the registered predictor names, sorted.
+func PredictorNames() []string { return predictor.Names() }
+
+// ---- Online adaptive tuning: Spec → TuningReport ----
+
+// ControllerSpec names one tuning-controller configuration of a tuning
+// grid (trial-and-error with TrialsPerConfig trials per setting).
+type ControllerSpec = harness.ControllerSpec
+
+// TuningConfiguration identifies one scorecard row: a grid
+// Configuration crossed with a predictor and a controller.
+type TuningConfiguration = harness.TuningConfiguration
+
+// TuningValue is one replicate's scorecard metrics.
+type TuningValue = harness.TuningValue
+
+// TuningMetric is one scorecard metric banded across replicates.
+type TuningMetric = harness.TuningMetric
+
+// TuningConfigResult is one scorecard row with replicate-banded metrics.
+type TuningConfigResult = harness.TuningConfigResult
+
+// TuningReport is an executed tuning grid: win-rate, regret,
+// convergence, accuracy and overhead per (variant, app, procs, detector,
+// predictor, controller), each mean ± 95% CI across replicates. Build a
+// Spec with WithPredictors/WithControllers/WithPhaseBudget and run
+// Spec.RunTuning to produce one.
+type TuningReport = harness.TuningReport
+
+// TuningEncoder renders a TuningReport in one output format.
+type TuningEncoder = harness.TuningEncoder
+
+// NewTuningEncoder returns the named TuningReport encoder ("text",
+// "csv", "json", "markdown").
+func NewTuningEncoder(name, title string) (TuningEncoder, error) {
+	return harness.NewTuningEncoder(name, title)
+}
+
+// TuningEncoderNames returns the registered tuning encoder names.
+func TuningEncoderNames() []string { return harness.TuningEncoderNames() }
+
+// DefaultControllers returns the default controller axis of a tuning
+// grid.
+func DefaultControllers() []ControllerSpec { return harness.DefaultControllers() }
+
+// DefaultPhaseBudget is the default tuning phase budget.
+const DefaultPhaseBudget = harness.DefaultPhaseBudget
+
+// TuningHardwareConfigs is the number of hardware settings of the
+// canonical tuning cost model.
+const TuningHardwareConfigs = harness.TuningHardwareConfigs
+
+// TuningCosts evaluates the canonical three-setting cost model over one
+// processor's recorded intervals.
+func TuningCosts(recs []IntervalSignature) [][]float64 { return harness.TuningCosts(recs) }
+
+// OperatingPoint picks a detector's operating thresholds from its CoV
+// curve: the lowest-CoV point within the phase budget.
+func OperatingPoint(c Curve, phaseBudget float64) (thBBV, thDDS float64) {
+	return harness.OperatingPoint(c, phaseBudget)
+}
+
+// CellHook is the engine's per-cell extension point (see
+// harness.CellHook); the tuning driver is built on it.
+type CellHook = harness.CellHook

@@ -24,7 +24,7 @@ import (
 
 const (
 	procs       = 8
-	phaseBudget = 8.0 // max phases a controller is willing to tune
+	phaseBudget = dsmphase.DefaultPhaseBudget // max phases a controller will tune
 )
 
 func main() {
@@ -41,11 +41,12 @@ func main() {
 	}
 	byProc := m.RecordsByProc()
 
-	// Operating points from the CoV curves (the paper's tool).
+	// Operating points from the CoV curves (the paper's tool):
+	// the lowest-CoV point within the phase budget.
 	bbvCurve := dsmphase.SweepMachine(m, rc, dsmphase.DetectorBBV, sum)
 	ddvCurve := dsmphase.SweepMachine(m, rc, dsmphase.DetectorBBVDDV, sum)
-	bbvTh, _ := pickThresholds(bbvCurve)
-	ddvTh, ddvThDDS := pickThresholds(ddvCurve)
+	bbvTh, _ := dsmphase.OperatingPoint(bbvCurve.Curve, phaseBudget)
+	ddvTh, ddvThDDS := dsmphase.OperatingPoint(ddvCurve.Curve, phaseBudget)
 
 	fmt.Println("phase-adaptive tuning replay (LU, 8 nodes, 3 hardware settings,")
 	fmt.Printf("one controller per node, phase budget %.0f; lower score is better):\n\n", phaseBudget)
@@ -59,68 +60,19 @@ func main() {
 	fmt.Println("levels and settle for a compromise setting.")
 }
 
-// pickThresholds returns the thresholds of the lowest-CoV operating
-// point within the phase budget.
-func pickThresholds(c dsmphase.CurveResult) (thBBV, thDDS float64) {
-	best := dsmphase.CurvePoint{CoV: -1}
-	for _, p := range c.Curve.Points {
-		if p.Phases <= phaseBudget && (best.CoV < 0 || p.CoV < best.CoV) {
-			best = p
-		}
-	}
-	if best.CoV < 0 {
-		return 2.0, 0 // degenerate curve: everything in one phase
-	}
-	return best.Threshold, best.ThresholdDDS
-}
-
-// buildScores models three hardware settings matched to data-
-// distribution *levels* (think directory speculation depth or adaptive
-// routing keyed to how far and how contended an interval's data is).
-// An interval's cost rises with the mismatch between its normalized DDS
-// and the setting's target level. This is exactly the variable the BBV
-// cannot see: two intervals with identical code but different DDS need
-// different settings, and only a DDS-aware detector gives the controller
-// phases homogeneous enough to pick correctly.
-func buildScores(recs []dsmphase.IntervalSignature) [][]float64 {
-	lo, hi := recs[0].DDS, recs[0].DDS
-	for _, r := range recs {
-		if r.DDS < lo {
-			lo = r.DDS
-		}
-		if r.DDS > hi {
-			hi = r.DDS
-		}
-	}
-	span := hi - lo
-	if span == 0 {
-		span = 1
-	}
-	targets := []float64{1.0 / 6, 0.5, 5.0 / 6} // terciles of the DDS range
-	scores := make([][]float64, len(targets))
-	for i := range scores {
-		scores[i] = make([]float64, len(recs))
-	}
-	for i, r := range recs {
-		z := (r.DDS - lo) / span
-		for c, t := range targets {
-			mismatch := z - t
-			if mismatch < 0 {
-				mismatch = -mismatch
-			}
-			scores[c][i] = r.CPI() * (1 + 0.4*mismatch)
-		}
-	}
-	return scores
-}
-
 // run replays tuning with one controller per node and prints aggregate
-// results.
+// results. The three hardware settings come from the canonical cost
+// model (dsmphase.TuningCosts): settings matched to data-distribution
+// levels, so an interval's cost rises with the mismatch between its
+// normalized DDS and the setting's target — exactly the variable the
+// BBV cannot see.
 func run(name string, byProc [][]dsmphase.IntervalSignature, kind dsmphase.DetectorKind, thBBV, thDDS float64) {
 	var total dsmphase.TuningOutcome
 	for _, recs := range byProc {
 		ids := dsmphase.ClassifyRecorded(kind, 32, thBBV, thDDS, recs)
-		out := dsmphase.ReplayTuning(dsmphase.NewTuningController(3, 1), ids, buildScores(recs))
+		out := dsmphase.ReplayTuning(
+			dsmphase.NewTuningController(dsmphase.TuningHardwareConfigs, 1),
+			ids, dsmphase.TuningCosts(recs))
 		total.Intervals += out.Intervals
 		total.TuningIntervals += out.TuningIntervals
 		total.TotalScore += out.TotalScore

@@ -142,6 +142,76 @@ func TestFacadePredictors(t *testing.T) {
 	}
 }
 
+// TestFacadeRunTuning exercises the public closed-loop surface: the
+// predictor registry, the tuning Spec axes, RunTuning and a tuning
+// encoder, end to end on a real tiny simulation.
+func TestFacadeRunTuning(t *testing.T) {
+	if _, err := dsmphase.PredictorByName("markov"); err != nil {
+		t.Fatal(err)
+	}
+	if names := dsmphase.PredictorNames(); len(names) != 3 {
+		t.Fatalf("PredictorNames = %v", names)
+	}
+	spec := dsmphase.NewSpec(
+		dsmphase.WithApps("lu"),
+		dsmphase.WithProcs(2),
+		dsmphase.WithSize(dsmphase.SizeTest),
+		dsmphase.WithInterval(20_000),
+		dsmphase.WithPredictors("last-phase"),
+		dsmphase.WithControllers(dsmphase.ControllerSpec{Name: "trial-1", TrialsPerConfig: 1}),
+		dsmphase.WithPhaseBudget(dsmphase.DefaultPhaseBudget),
+	)
+	rep, err := spec.RunTuning(dsmphase.EngineOptions{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Configs) != 1 {
+		t.Fatalf("%d scorecard rows, want 1", len(rep.Configs))
+	}
+	row := rep.Configs[0]
+	if row.WinRate.Mean < 0 || row.WinRate.Mean > 1 {
+		t.Errorf("win rate = %v", row.WinRate.Mean)
+	}
+	var buf bytes.Buffer
+	enc, err := dsmphase.NewTuningEncoder("markdown", "facade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "| baseline | lu | 2 | BBV | last-phase | trial-1 |") {
+		t.Errorf("scorecard row missing:\n%s", buf.String())
+	}
+	if len(dsmphase.TuningEncoderNames()) != 4 {
+		t.Errorf("TuningEncoderNames = %v", dsmphase.TuningEncoderNames())
+	}
+}
+
+// TestFacadeTuningCostModel checks the exported cost-model helpers.
+func TestFacadeTuningCostModel(t *testing.T) {
+	m, _, err := dsmphase.Simulate(quickRC(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := m.RecordsByProc()[0]
+	costs := dsmphase.TuningCosts(recs)
+	if len(costs) != dsmphase.TuningHardwareConfigs {
+		t.Fatalf("%d cost rows, want %d", len(costs), dsmphase.TuningHardwareConfigs)
+	}
+	c, err := dsmphase.RunCurve(quickRC(2), dsmphase.DetectorBBV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thBBV, _ := dsmphase.OperatingPoint(c.Curve, dsmphase.DefaultPhaseBudget)
+	if thBBV <= 0 {
+		t.Errorf("operating threshold = %v", thBBV)
+	}
+}
+
 func TestFacadeRunCurveWSS(t *testing.T) {
 	c, err := dsmphase.RunCurve(quickRC(2), dsmphase.DetectorWSS)
 	if err != nil {

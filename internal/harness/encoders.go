@@ -7,6 +7,8 @@ import (
 	"math"
 	"sort"
 	"strconv"
+
+	"dsmphase/internal/stats"
 )
 
 // Report encoders. Encoders are pure functions of the Report's
@@ -144,6 +146,18 @@ type jsonConfig struct {
 	Curves   int             `json:"curves"`
 	Errors   []string        `json:"errors,omitempty"`
 	Band     []jsonBandPoint `json:"band"`
+	// Spread surfaces the raw across-replicate dispersion at the paper's
+	// 25-phase budget (present only at replicates > 1), so consumers can
+	// judge CI overlap from the replicates themselves rather than the
+	// summarized band alone.
+	Spread *jsonSpread `json:"replicate_spread,omitempty"`
+}
+
+// jsonSpread is one configuration's per-replicate CoV@25 values (finite
+// replicates only, replicate order) and their standard deviation.
+type jsonSpread struct {
+	Cov25  []float64 `json:"cov25"`
+	Stddev float64   `json:"stddev"`
 }
 
 type jsonReport struct {
@@ -177,6 +191,18 @@ func (JSONEncoder) Encode(w io.Writer, r *Report) error {
 		}
 		for _, p := range c.Band.Points {
 			jc.Band = append(jc.Band, jsonBandPoint{Phases: p.Phases, Mean: p.Mean, Lo: p.Lo, Hi: p.Hi, N: p.N})
+		}
+		if r.Replicates > 1 {
+			// +Inf (an unreachable budget) is not representable in JSON;
+			// only finite replicates contribute, matching the band's N.
+			spread := &jsonSpread{Cov25: []float64{}}
+			for _, curve := range c.Curves {
+				if v := curve.Curve.CoVAt(25); !math.IsInf(v, 1) {
+					spread.Cov25 = append(spread.Cov25, v)
+				}
+			}
+			spread.Stddev = stats.StdDev(spread.Cov25)
+			jc.Spread = spread
 		}
 		doc.Configs = append(doc.Configs, jc)
 	}

@@ -161,7 +161,21 @@ type CellResult struct {
 	// that varies across identical runs; determinism comparisons must
 	// ignore it and encoders must not emit it.
 	Wall time.Duration
+	// Extra carries the Options.Hook return value, if a hook ran; nil
+	// otherwise. Report encoders never emit it — hook-derived data gets
+	// its own aggregation (e.g. TuningReport).
+	Extra any
 }
+
+// CellHook is the engine's extension point for computations that need
+// the live simulation, not just the swept curve: it runs in the worker
+// after the cell's sweep, while the cell's (possibly shared) machine is
+// still resident, and its return value is stored in CellResult.Extra.
+// Cells sharing one simulation run their hooks concurrently on the same
+// machine, so hooks must treat it as read-only (the recorded interval
+// signatures are safe to read). Hooks must be deterministic for the
+// engine's output to stay worker-count independent.
+type CellHook func(c Cell, m *machine.Machine, curve CurveResult, sum machine.Summary) any
 
 // Options configures a Runner.
 type Options struct {
@@ -171,6 +185,9 @@ type Options struct {
 	// counting completions (1..total). Calls are serialized; done is
 	// monotone but cells complete in execution order, not plan order.
 	Progress func(done, total int, r CellResult)
+	// Hook, if non-nil, runs for every successfully swept cell while its
+	// simulation is still resident; see CellHook.
+	Hook CellHook
 }
 
 // Runner executes plans over a bounded goroutine pool.
@@ -272,6 +289,9 @@ func (r *Runner) Run(p *Plan) []CellResult {
 					res.Err = err
 				} else {
 					res.Curve = SweepMachine(m, c.Run, c.Kind, sum)
+					if r.opts.Hook != nil {
+						res.Extra = r.opts.Hook(c, m, res.Curve, sum)
+					}
 				}
 				e.release()
 				res.Wall = time.Since(start)

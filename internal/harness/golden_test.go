@@ -74,6 +74,69 @@ func TestGoldenEncoders(t *testing.T) {
 	}
 }
 
+// goldenTuningReport runs the small multi-replicate tuning grid shared
+// by the tuning-encoder golden tests: the closed loop (thresholds from
+// the CoV curve, live phase streams, online AdaptiveLoop per processor)
+// on deterministic simulations, so the scorecard bytes are too.
+var goldenTuningReport = sync.OnceValue(func() *TuningReport {
+	rep, err := NewSpec(
+		WithApps("fmm"),
+		WithProcs(2),
+		WithDetectors(core.DetectorBBV, core.DetectorBBVDDV),
+		WithSize(workloads.SizeTest),
+		WithInterval(20_000),
+		WithSeed(1),
+		WithReplicates(2),
+		WithPredictors("last-phase", "markov"),
+		WithControllers(ControllerSpec{Name: "trial-1", TrialsPerConfig: 1}),
+	).RunTuning(Options{Parallel: 4})
+	if err != nil {
+		panic(err)
+	}
+	return rep
+})
+
+// TestGoldenTuningEncoders pins every TuningReport encoder's output
+// byte for byte. Regenerate with
+// `go test ./internal/harness -run TestGolden -update`.
+func TestGoldenTuningEncoders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed golden runs")
+	}
+	rep := goldenTuningReport()
+	if err := rep.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range TuningEncoderNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			enc, err := NewTuningEncoder(name, "golden tuning grid")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got bytes.Buffer
+			if err := enc.Encode(&got, rep); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "tuning."+name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Errorf("%s output drifted from %s:\n--- want ---\n%s\n--- got ---\n%s",
+					name, path, want, got.Bytes())
+			}
+		})
+	}
+}
+
 // TestGoldenTextSingleReplicate pins the one-replicate text format —
 // the byte-identical legacy table — as its own golden file, so format
 // drift is caught even if the legacy helpers are ever removed.

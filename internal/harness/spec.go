@@ -5,6 +5,7 @@ import (
 
 	"dsmphase/internal/core"
 	"dsmphase/internal/machine"
+	"dsmphase/internal/predictor"
 	"dsmphase/internal/workloads"
 )
 
@@ -64,6 +65,23 @@ type Spec struct {
 	seed       uint64
 	replicates int
 	variants   []Variant
+
+	// Tuning axes (RunTuning only; Run ignores them).
+	predictors  []string
+	controllers []ControllerSpec
+	phaseBudget float64
+}
+
+// ControllerSpec names one tuning-controller configuration of a tuning
+// grid: a trial-and-error controller that measures each hardware
+// configuration for TrialsPerConfig intervals before locking in.
+type ControllerSpec struct {
+	// Name labels the controller in scorecards ("trial-1").
+	Name string
+	// TrialsPerConfig is how many intervals each configuration is
+	// trialled per phase (averaging suppresses noise at the cost of more
+	// tuning intervals).
+	TrialsPerConfig int
 }
 
 // Option configures a Spec.
@@ -161,6 +179,52 @@ func WithoutBaseline() Option {
 		}
 		s.variants = kept
 	}
+}
+
+// WithPredictors selects the phase predictors of a tuning grid by
+// registry name ("last-phase", "markov", "run-length"). Empty keeps the
+// full registry. Only RunTuning consumes this axis.
+func WithPredictors(names ...string) Option {
+	return func(s *Spec) { s.predictors = names }
+}
+
+// WithControllers selects the tuning controllers of a tuning grid. Empty
+// keeps DefaultControllers. Only RunTuning consumes this axis.
+func WithControllers(specs ...ControllerSpec) Option {
+	return func(s *Spec) { s.controllers = specs }
+}
+
+// WithPhaseBudget sets the maximum number of phases a controller is
+// willing to tune; the detector's operating thresholds are chosen as the
+// lowest-CoV point of its CoV curve within this budget (the paper's
+// prescription). Values ≤ 0 keep the default budget of 8. Only
+// RunTuning consumes this knob.
+func WithPhaseBudget(budget float64) Option {
+	return func(s *Spec) { s.phaseBudget = budget }
+}
+
+// Predictors returns the resolved predictor names of the tuning grid.
+func (s *Spec) Predictors() []string {
+	if len(s.predictors) == 0 {
+		return predictor.Names()
+	}
+	return append([]string(nil), s.predictors...)
+}
+
+// Controllers returns the resolved controller specs of the tuning grid.
+func (s *Spec) Controllers() []ControllerSpec {
+	if len(s.controllers) == 0 {
+		return DefaultControllers()
+	}
+	return append([]ControllerSpec(nil), s.controllers...)
+}
+
+// PhaseBudget returns the resolved tuning phase budget.
+func (s *Spec) PhaseBudget() float64 {
+	if s.phaseBudget <= 0 {
+		return DefaultPhaseBudget
+	}
+	return s.phaseBudget
 }
 
 // Replicates returns the configured replicate count.

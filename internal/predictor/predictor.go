@@ -9,6 +9,11 @@
 //     structure Sherwood et al. used for phase prediction.
 package predictor
 
+import (
+	"fmt"
+	"sort"
+)
+
 // Predictor forecasts the next interval's phase ID from the observed
 // phase sequence.
 type Predictor interface {
@@ -18,6 +23,35 @@ type Predictor interface {
 	Observe(phase int)
 	// Name identifies the predictor in reports.
 	Name() string
+}
+
+// registry maps report names to fresh-predictor constructors. Every
+// predictor is stateful, so grids must construct one instance per
+// (configuration, phase stream) — never share.
+var registry = map[string]func() Predictor{
+	"last-phase": func() Predictor { return NewLastPhase() },
+	"markov":     func() Predictor { return NewMarkov() },
+	"run-length": func() Predictor { return NewRunLength(0) },
+}
+
+// ByName constructs a fresh predictor by its registry name
+// ("last-phase", "markov", "run-length").
+func ByName(name string) (Predictor, error) {
+	mk, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("predictor: unknown predictor %q (want %v)", name, Names())
+	}
+	return mk(), nil
+}
+
+// Names returns the registered predictor names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Accuracy replays a phase sequence through a predictor and returns the

@@ -21,6 +21,35 @@ func TestNames(t *testing.T) {
 	}
 }
 
+// TestByName checks the registry round-trips every name to a fresh
+// predictor whose Name matches, and rejects unknown names.
+func TestByName(t *testing.T) {
+	names := Names()
+	if len(names) != 3 {
+		t.Fatalf("Names() = %v, want 3 predictors", names)
+	}
+	for _, name := range names {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, p.Name())
+		}
+		// Fresh state every call: after training one instance, a second
+		// must still make the untrained prediction (-1 for all three).
+		q, _ := ByName(name)
+		p.Observe(1)
+		p.Observe(2)
+		if got := q.Predict(); got != -1 {
+			t.Errorf("ByName(%q): untouched instance predicts %d, want -1 (shared state?)", name, got)
+		}
+	}
+	if _, err := ByName("psychic"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
 func TestAccuracyTrivial(t *testing.T) {
 	if got := Accuracy(NewLastPhase(), nil); got != 1 {
 		t.Errorf("empty sequence accuracy = %v", got)

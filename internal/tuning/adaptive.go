@@ -9,9 +9,19 @@ import "dsmphase/internal/predictor"
 // configuration before the interval runs. A misprediction therefore runs
 // an interval under the wrong phase's configuration — the cost the paper
 // says future work on DSM phase prediction must minimize.
+//
+// The loop is driven online, one interval at a time, through Step:
+// callers feed it the interval's actual phase (from a live detector) and
+// the cost each hardware configuration would have incurred, and read the
+// accumulated accounting back with Outcome. Replay remains as the
+// offline convenience over a fully recorded sequence; it drives Step.
 type AdaptiveLoop struct {
 	ctl  *Controller
 	pred predictor.Predictor
+
+	started bool
+	correct int
+	out     AdaptiveOutcome
 }
 
 // NewAdaptiveLoop builds the loop from a controller and a predictor.
@@ -22,7 +32,8 @@ func NewAdaptiveLoop(ctl *Controller, pred predictor.Predictor) *AdaptiveLoop {
 	return &AdaptiveLoop{ctl: ctl, pred: pred}
 }
 
-// AdaptiveOutcome extends Outcome with prediction accounting.
+// AdaptiveOutcome extends Outcome with prediction and online-drive
+// accounting.
 type AdaptiveOutcome struct {
 	Outcome
 	// Mispredictions counts intervals that ran under a configuration
@@ -31,59 +42,109 @@ type AdaptiveOutcome struct {
 	// PredictionAccuracy is the fraction of correctly predicted phases
 	// (excluding the first interval).
 	PredictionAccuracy float64
+	// OracleMatches counts intervals whose chosen configuration equalled
+	// the clairvoyant best for that interval; OracleMatches/Intervals is
+	// the loop's win rate.
+	OracleMatches int
+	// ConvergenceInterval is one past the index of the last trial
+	// interval — the point from which every decision was a locked-in best
+	// configuration. Zero means the loop never trialled at all.
+	ConvergenceInterval int
 }
 
-// Replay simulates the predictive loop over a recorded phase sequence.
-// scores[config][i] is interval i's cost under each configuration.
-//
-// For each interval the loop asks the predictor for the upcoming phase,
-// applies the controller's decision for that phase, then — once the
-// interval has "run" — learns the actual phase and reports the
-// measurement to the controller under the phase the configuration was
-// chosen for (the hardware cannot retroactively re-run the interval).
-func (l *AdaptiveLoop) Replay(phases []int, scores [][]float64) AdaptiveOutcome {
-	if len(scores) != l.ctl.numConfigs {
-		panic("tuning: scores must have one row per configuration")
+// WinRate returns the fraction of intervals whose configuration matched
+// the clairvoyant per-interval best.
+func (o AdaptiveOutcome) WinRate() float64 {
+	if o.Intervals == 0 {
+		return 0
 	}
-	var out AdaptiveOutcome
-	correct := 0
-	for i, actual := range phases {
-		var predicted int
-		if i == 0 {
-			// Nothing to predict from: treat the first interval as its
-			// own phase announcement.
-			predicted = actual
+	return float64(o.OracleMatches) / float64(o.Intervals)
+}
+
+// Regret returns the relative cost over the clairvoyant controller,
+// (TotalScore − OracleScore)/OracleScore.
+func (o AdaptiveOutcome) Regret() float64 {
+	if o.OracleScore == 0 {
+		return 0
+	}
+	return (o.TotalScore - o.OracleScore) / o.OracleScore
+}
+
+// Step runs one interval through the loop online: predict the phase,
+// apply the controller's decision, charge the decision's cost, then
+// learn the actual phase. actual is the phase the detector assigned to
+// the interval; costs[config] is the objective the interval would incur
+// under each hardware configuration (the chosen entry is the one
+// actually paid). costs must have one entry per controller
+// configuration.
+func (l *AdaptiveLoop) Step(actual int, costs []float64) Decision {
+	if len(costs) != l.ctl.numConfigs {
+		panic("tuning: costs must have one entry per configuration")
+	}
+	var predicted int
+	if !l.started {
+		// Nothing to predict from: treat the first interval as its own
+		// phase announcement.
+		predicted = actual
+		l.started = true
+	} else {
+		predicted = l.pred.Predict()
+		if predicted == actual {
+			l.correct++
 		} else {
-			predicted = l.pred.Predict()
+			l.out.Mispredictions++
 		}
-		d := l.ctl.Decide(predicted)
-		s := scores[d.Config][i]
-		l.ctl.Report(predicted, d.Config, s)
-		l.pred.Observe(actual)
-		if i > 0 {
-			if predicted == actual {
-				correct++
-			} else {
-				out.Mispredictions++
-			}
-		}
-		out.Intervals++
-		if d.Tuning {
-			out.TuningIntervals++
-		}
-		out.TotalScore += s
-		best := scores[0][i]
-		for cfg := 1; cfg < l.ctl.numConfigs; cfg++ {
-			if scores[cfg][i] < best {
-				best = scores[cfg][i]
-			}
-		}
-		out.OracleScore += best
 	}
-	if len(phases) > 1 {
-		out.PredictionAccuracy = float64(correct) / float64(len(phases)-1)
+	d := l.ctl.Decide(predicted)
+	s := costs[d.Config]
+	l.ctl.Report(predicted, d.Config, s)
+	l.pred.Observe(actual)
+	l.out.Intervals++
+	if d.Tuning {
+		l.out.TuningIntervals++
+		l.out.ConvergenceInterval = l.out.Intervals
+	}
+	l.out.TotalScore += s
+	best := costs[0]
+	for cfg := 1; cfg < l.ctl.numConfigs; cfg++ {
+		if costs[cfg] < best {
+			best = costs[cfg]
+		}
+	}
+	l.out.OracleScore += best
+	// Match by cost, not by index: a decision tied with the clairvoyant
+	// best pays the oracle price and must count as a win.
+	if s <= best {
+		l.out.OracleMatches++
+	}
+	return d
+}
+
+// Outcome returns the accounting accumulated by Step so far.
+func (l *AdaptiveLoop) Outcome() AdaptiveOutcome {
+	out := l.out
+	if out.Intervals > 1 {
+		out.PredictionAccuracy = float64(l.correct) / float64(out.Intervals-1)
 	} else {
 		out.PredictionAccuracy = 1
 	}
 	return out
+}
+
+// Replay simulates the predictive loop over a recorded phase sequence.
+// scores[config][i] is interval i's cost under each configuration. It
+// drives Step interval by interval and returns the loop's cumulative
+// Outcome (so repeated Replays on one loop keep accumulating).
+func (l *AdaptiveLoop) Replay(phases []int, scores [][]float64) AdaptiveOutcome {
+	if len(scores) != l.ctl.numConfigs {
+		panic("tuning: scores must have one row per configuration")
+	}
+	costs := make([]float64, len(scores))
+	for i, actual := range phases {
+		for cfg := range scores {
+			costs[cfg] = scores[cfg][i]
+		}
+		l.Step(actual, costs)
+	}
+	return l.Outcome()
 }

@@ -103,6 +103,74 @@ func TestAdaptiveLoopPanics(t *testing.T) {
 	}
 }
 
+// TestStepMatchesReplay pins the online drive: stepping the loop
+// interval by interval must produce exactly the outcome Replay reports
+// over the same sequence.
+func TestStepMatchesReplay(t *testing.T) {
+	phases, scores := stablePattern(300)
+	replayed := NewAdaptiveLoop(NewController(2, 2), predictor.NewMarkov()).Replay(phases, scores)
+	stepped := NewAdaptiveLoop(NewController(2, 2), predictor.NewMarkov())
+	costs := make([]float64, 2)
+	for i, actual := range phases {
+		costs[0], costs[1] = scores[0][i], scores[1][i]
+		stepped.Step(actual, costs)
+	}
+	if got := stepped.Outcome(); got != replayed {
+		t.Errorf("stepped outcome %+v differs from replayed %+v", got, replayed)
+	}
+}
+
+// TestStepWinRateAndConvergence checks the online accounting: on the
+// easy stable pattern the loop converges (trials stop) and then matches
+// the oracle on locked-in intervals, so the win rate is high and
+// ConvergenceInterval lands early in the run.
+func TestStepWinRateAndConvergence(t *testing.T) {
+	phases, scores := stablePattern(500)
+	out := NewAdaptiveLoop(NewController(2, 1), predictor.NewLastPhase()).Replay(phases, scores)
+	if out.OracleMatches <= out.Intervals/2 {
+		t.Errorf("oracle matches %d of %d — stable pattern should mostly win",
+			out.OracleMatches, out.Intervals)
+	}
+	if wr := out.WinRate(); wr <= 0.5 || wr > 1 {
+		t.Errorf("win rate = %v", wr)
+	}
+	// Both phases appear within the first 50 intervals and need 2 trials
+	// each; add slack for boundary mispredictions re-opening trials.
+	if out.ConvergenceInterval == 0 || out.ConvergenceInterval > 100 {
+		t.Errorf("convergence interval = %d, want early and non-zero", out.ConvergenceInterval)
+	}
+	if out.Regret() < 0 {
+		t.Errorf("negative regret %v", out.Regret())
+	}
+}
+
+// TestStepOracleTieCountsAsWin checks matches are scored by cost, not
+// config index: a decision tied with the clairvoyant best pays the
+// oracle price and must count as a win.
+func TestStepOracleTieCountsAsWin(t *testing.T) {
+	loop := NewAdaptiveLoop(NewController(2, 1), predictor.NewLastPhase())
+	// Whatever config the controller trials first, both cost the same.
+	loop.Step(0, []float64{1, 1})
+	out := loop.Outcome()
+	if out.OracleMatches != 1 {
+		t.Errorf("tied-cost interval scored %d oracle matches, want 1", out.OracleMatches)
+	}
+	if out.Regret() != 0 {
+		t.Errorf("tied-cost interval has regret %v, want 0", out.Regret())
+	}
+}
+
+// TestStepCostsLengthPanics checks the online API validates its cost
+// vector like Replay validates its table.
+func TestStepCostsLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("short costs vector should panic")
+		}
+	}()
+	NewAdaptiveLoop(NewController(2, 1), predictor.NewLastPhase()).Step(0, []float64{1})
+}
+
 func TestAdaptiveOutcomeConsistency(t *testing.T) {
 	phases, scores := stablePattern(200)
 	out := NewAdaptiveLoop(NewController(2, 2), predictor.NewRunLength(16)).Replay(phases, scores)
