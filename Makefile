@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check bench golden golden-update tuning-smoke ci
+.PHONY: build test vet fmt fmt-check bench golden golden-update tuning-smoke shard-smoke ci
 
 build:
 	$(GO) build ./...
@@ -30,15 +30,18 @@ bench:
 
 # The byte-identity gates: every Report and TuningReport encoder
 # against its golden file (the TestGolden pattern covers both
-# families), the replicates=1 Spec output against the legacy figure
-# tables, and the cmd/experiments report — including the -tuning
-# scorecard — across worker counts, all under -race.
+# families, plus the shard artifact), the replicates=1 Spec output
+# against the legacy figure tables, shard-set merges against the
+# unsharded run (all encoders, tuning included), and the
+# cmd/experiments report — including the -tuning scorecard and the
+# shard+merge path — across worker counts, all under -race.
 golden:
-	$(GO) test -race -run 'TestGolden|TestSpecLegacyByteIdentity' ./internal/harness
-	$(GO) test -race -run 'TestParallelReportByteIdentical|TestTuningScorecardDeterministic' ./cmd/experiments
+	$(GO) test -race -run 'TestGolden|TestSpecLegacyByteIdentity|TestMergeByteIdentity|TestMergeTuningByteIdentity' ./internal/harness
+	$(GO) test -race -run 'TestParallelReportByteIdentical|TestTuningScorecardDeterministic|TestShardMergeByteIdentity' ./cmd/experiments
 
-# Regenerate the encoder golden files (report and tuning scorecard)
-# after an intentional format change.
+# Regenerate the golden files (report and tuning encoders, shard
+# artifact) after an intentional format change; remember to update
+# docs/MERGE_FORMAT.md when the shard schema moves.
 golden-update:
 	$(GO) test -run 'TestGolden' -update ./internal/harness
 
@@ -47,4 +50,18 @@ golden-update:
 tuning-smoke:
 	$(GO) run ./cmd/experiments -size test -interval 40000 -apps lu -replicates 2 -tuning > /dev/null
 
-ci: build fmt-check vet test bench golden tuning-smoke
+# End-to-end smoke of cross-machine sharding: run a tiny grid as two
+# shards, merge the artifacts, and require the merged report to be
+# byte-identical to the unsharded run (docs/MERGE_FORMAT.md's core
+# guarantee, exercised through the real CLI).
+shard-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	flags="-size test -interval 40000 -apps lu -replicates 2 -tuning"; \
+	$(GO) run ./cmd/experiments $$flags > "$$tmp/unsharded.md" && \
+	$(GO) run ./cmd/experiments $$flags -shard 0/2 -shard-out "$$tmp/s0.json" && \
+	$(GO) run ./cmd/experiments $$flags -shard 1/2 -shard-out "$$tmp/s1.json" && \
+	$(GO) run ./cmd/experiments $$flags -merge "$$tmp/s0.json" "$$tmp/s1.json" > "$$tmp/merged.md" && \
+	diff "$$tmp/unsharded.md" "$$tmp/merged.md" && \
+	echo "shard-smoke: merged report byte-identical"
+
+ci: build fmt-check vet test bench golden tuning-smoke shard-smoke

@@ -6,6 +6,8 @@
 //	covcurve -figure 4 -replicates 5  # mean ± 95% CI bands across seeds
 //	covcurve -figure 4 -format csv    # csv / json / markdown encoders
 //	covcurve -figure 4 -size full -interval 3000000   # paper scale
+//	covcurve -figure 4 -shard 0/2 -shard-out s0.json  # one cluster worker
+//	covcurve -figure 4 -merge s0.json s1.json         # byte-identical report
 //
 // Experiments are declared as Spec grids over the sharded engine and
 // rendered by a Report encoder. The default text format prints one
@@ -41,8 +43,14 @@ func main() {
 		progress   = flag.Bool("progress", false, "report per-cell progress and ETA on stderr")
 		compare    = flag.Bool("compare", false, "also print BBV vs BBV+DDV comparisons at 10/25 phases (text format)")
 		asciiPlt   = flag.Bool("plot", false, "render ASCII charts (one panel per application, log y; text format, replicates=1)")
+		shardArg   = flag.String("shard", "", `run only shard i of n ("i/n") and write a shard artifact instead of the report`)
+		shardOut   = flag.String("shard-out", "-", `shard artifact path ("-" = stdout)`)
+		mergeFlag  = flag.Bool("merge", false, "merge the shard artifacts given as arguments into the report")
 	)
 	flag.Parse()
+	if *shardArg != "" && *mergeFlag {
+		fatal(fmt.Errorf("-shard and -merge are mutually exclusive"))
+	}
 
 	size, err := dsmphase.ParseSize(*sizeArg)
 	if err != nil {
@@ -111,7 +119,48 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep := spec.Run(opts)
+	if *shardArg != "" {
+		// One cluster worker's share of the grid: write the versioned
+		// shard artifact (docs/MERGE_FORMAT.md) instead of the report.
+		shard, of, err := dsmphase.ParseShard(*shardArg)
+		if err != nil {
+			fatal(err)
+		}
+		grid, err := dsmphase.NewShardGrid("covcurve", spec, spec.RunShard(shard, of, opts), false, false)
+		if err != nil {
+			fatal(err)
+		}
+		art := &dsmphase.ShardArtifact{Format: dsmphase.ShardFormat, Shard: shard, Of: of,
+			Grids: []dsmphase.ShardGrid{grid}}
+		if *shardOut == "-" {
+			err = dsmphase.WriteShardArtifact(os.Stdout, art)
+		} else {
+			err = dsmphase.WriteShardArtifactFile(*shardOut, art)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+	var rep *dsmphase.Report
+	if *mergeFlag {
+		// Reassemble a complete shard set through the same aggregation
+		// path Run uses; the report bytes match the unsharded run.
+		if flag.NArg() == 0 {
+			fatal(fmt.Errorf("-merge needs shard artifact files as arguments"))
+		}
+		arts, err := dsmphase.ReadShardArtifactFiles(flag.Args())
+		if err != nil {
+			fatal(err)
+		}
+		results, err := dsmphase.MergeShards(spec, "covcurve", arts)
+		if err != nil {
+			fatal(err)
+		}
+		rep = spec.Assemble(results)
+	} else {
+		rep = spec.Run(opts)
+	}
 	if strict {
 		if err := rep.FirstError(); err != nil {
 			fatal(err)

@@ -11,9 +11,19 @@
 // byte-identical for every worker count. A cell that fails (e.g. a
 // diverging workload) is reported and skipped; its siblings still run.
 //
+// The run also shards across machines: -shard i/n executes only the
+// i-th of n deterministic grid partitions and writes a versioned JSON
+// shard artifact (docs/MERGE_FORMAT.md) instead of the report; -merge
+// reassembles a complete artifact set into the byte-identical report
+// the unsharded run would have printed. -preset paper selects the
+// paper-scale flags, and -eta-from seeds the -progress ETA from a
+// previous run's persisted per-cell timings.
+//
 //	experiments -size small > report.md
 //	experiments -size small -parallel 8 -progress > report.md
 //	experiments -size small -replicates 5 -ablation > report.md
+//	experiments -preset paper -shard 0/4 -shard-out shard0.json   # per worker
+//	experiments -preset paper -merge shard*.json > report.md      # reassemble
 package main
 
 import (
@@ -37,9 +47,40 @@ func main() {
 	}
 }
 
+// grid is one named experiment grid of the report — the unit the shard
+// artifact and the merge match across machines.
+type grid struct {
+	name   string
+	spec   *dsmphase.Spec
+	tuning bool
+}
+
+// gridSet declares the report's grids in render order. Every mode —
+// unsharded, -shard and -merge — derives the set from the same flags,
+// so a shard artifact's fingerprints line up with the merge side's.
+func gridSet(base []dsmphase.SpecOption, ablation, tuning bool) []grid {
+	grids := []grid{
+		{name: "figure2", spec: dsmphase.NewSpec(append(base,
+			dsmphase.WithProcs(2, 8, 32),
+			dsmphase.WithDetectors(dsmphase.DetectorBBV),
+		)...)},
+		{name: "figure4", spec: dsmphase.NewSpec(append(base,
+			dsmphase.WithProcs(8, 32),
+			dsmphase.WithDetectors(dsmphase.DetectorBBV, dsmphase.DetectorBBVDDV),
+		)...)},
+	}
+	if ablation {
+		grids = append(grids, grid{name: "ablation", spec: ablationSpec(base)})
+	}
+	if tuning {
+		grids = append(grids, grid{name: "tuning", spec: tuningSpec(base), tuning: true})
+	}
+	return grids
+}
+
 // run executes the whole report. The markdown lands on stdout; timing
 // and progress land on stderr so stdout stays byte-identical across
-// worker counts and machines.
+// worker counts, machines, and shard/merge splits.
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -54,12 +95,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ablation   = fs.Bool("ablation", false, "append the DDS-design ablation scorecard")
 		tuningFlag = fs.Bool("tuning", false, "append the adaptive-tuning win-rate scorecard (detector × predictor × controller)")
 		tuningFmt  = fs.String("tuning-format", "markdown", "tuning scorecard format: text, csv, json or markdown")
+		preset     = fs.String("preset", "", `flag preset: "paper" (size=full, interval=3000000, replicates=5); explicit flags override`)
+		shardArg   = fs.String("shard", "", `run only shard i of n ("i/n") and write a shard artifact instead of the report`)
+		shardOut   = fs.String("shard-out", "-", `shard artifact path ("-" = stdout)`)
+		shardTrace = fs.Bool("shard-trace", false, "embed interval records (internal/trace JSONL) in the shard artifact")
+		mergeFlag  = fs.Bool("merge", false, "merge the shard artifacts given as arguments into the report")
+		etaFrom    = fs.String("eta-from", "", "seed the -progress ETA from a prior run's shard artifact timings")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return nil // -h printed the usage; not a failure
 		}
 		return err
+	}
+	if err := applyPreset(fs, *preset, func() {
+		*sizeArg, *interval, *replicates = "full", 3_000_000, 5
+	}); err != nil {
+		return err
+	}
+	if *shardArg != "" && *mergeFlag {
+		return fmt.Errorf("-shard and -merge are mutually exclusive")
 	}
 
 	size, err := dsmphase.ParseSize(*sizeArg)
@@ -83,40 +138,70 @@ func run(args []string, stdout, stderr io.Writer) error {
 		dsmphase.WithSeed(*seed),
 		dsmphase.WithReplicates(*replicates),
 	}
+	grids := gridSet(base, *ablation, *tuningFlag)
+
+	// The ETA prior: a previous run's persisted per-cell timings.
+	var etaPer time.Duration
+	var etaCells int
+	if *etaFrom != "" {
+		prior, err := dsmphase.ReadShardArtifactFile(*etaFrom)
+		if err != nil {
+			return fmt.Errorf("-eta-from: %w", err)
+		}
+		etaPer, etaCells = prior.MeanCellWall()
+	}
 	// Each Spec.Run gets a fresh printer so the ETA never mixes plans.
 	makeOpts := func() dsmphase.EngineOptions {
 		opts := dsmphase.EngineOptions{Parallel: *parallel}
 		if *progress {
-			opts.Progress = dsmphase.ProgressPrinter(stderr)
+			opts.Progress = dsmphase.SeededProgressPrinter(stderr, etaPer, etaCells)
 		}
 		return opts
 	}
 	start := time.Now()
 
-	fmt.Fprintf(stdout, "# Experiment report (size=%s, seed=%d)\n\n", size, *seed)
-
-	fig2 := dsmphase.NewSpec(append(base,
-		dsmphase.WithProcs(2, 8, 32),
-		dsmphase.WithDetectors(dsmphase.DetectorBBV),
-	)...).Run(makeOpts())
-	reportFigure2(stdout, fig2)
-
-	fig4 := dsmphase.NewSpec(append(base,
-		dsmphase.WithProcs(8, 32),
-		dsmphase.WithDetectors(dsmphase.DetectorBBV, dsmphase.DetectorBBVDDV),
-	)...).Run(makeOpts())
-	reportFigure4(stdout, fig4)
-
-	reportOverhead(stdout)
-
-	if *ablation {
-		if err := reportAblation(stdout, base, makeOpts()); err != nil {
+	if *shardArg != "" {
+		if err := runShard(grids, *shardArg, *shardOut, *shardTrace, stdout, makeOpts); err != nil {
 			return err
+		}
+		fmt.Fprintf(stderr, "total runtime: %v (parallel=%d)\n",
+			time.Since(start).Round(time.Millisecond), *parallel)
+		return nil
+	}
+
+	// Produce each grid's report: simulated here, or reassembled from
+	// shard artifacts. Both paths flow through the same aggregation, so
+	// the rendered bytes agree.
+	reports := map[string]*dsmphase.Report{}
+	var tuningRep *dsmphase.TuningReport
+	if *mergeFlag {
+		if reports, tuningRep, err = mergeGrids(grids, fs.Args(), stderr); err != nil {
+			return err
+		}
+	} else {
+		for _, g := range grids {
+			if g.tuning {
+				if tuningRep, err = g.spec.RunTuning(makeOpts()); err != nil {
+					return err
+				}
+			} else {
+				reports[g.name] = g.spec.Run(makeOpts())
+			}
 		}
 	}
 
-	if *tuningFlag {
-		if err := reportTuning(stdout, tuningEnc, base, makeOpts()); err != nil {
+	fmt.Fprintf(stdout, "# Experiment report (size=%s, seed=%d)\n\n", size, *seed)
+	fig2, fig4 := reports["figure2"], reports["figure4"]
+	reportFigure2(stdout, fig2)
+	reportFigure4(stdout, fig4)
+	reportOverhead(stdout)
+	if rep := reports["ablation"]; rep != nil {
+		if err := reportAblation(stdout, rep); err != nil {
+			return err
+		}
+	}
+	if tuningRep != nil {
+		if err := tuningEnc.Encode(stdout, tuningRep); err != nil {
 			return err
 		}
 	}
@@ -138,6 +223,107 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// applyPreset rewrites flag defaults from a named preset, keeping any
+// value the user set explicitly.
+func applyPreset(fs *flag.FlagSet, name string, paper func()) error {
+	if name == "" {
+		return nil
+	}
+	if name != "paper" {
+		return fmt.Errorf("unknown preset %q (want paper)", name)
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	saved := map[string]string{}
+	for _, n := range []string{"size", "interval", "replicates"} {
+		if set[n] {
+			saved[n] = fs.Lookup(n).Value.String()
+		}
+	}
+	paper()
+	for n, v := range saved {
+		if err := fs.Set(n, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runShard executes every grid's assigned shard and writes one
+// multi-grid artifact to out ("-" = stdout; no report is rendered in
+// shard mode).
+func runShard(grids []grid, shardArg, out string, withTrace bool, stdout io.Writer, makeOpts func() dsmphase.EngineOptions) error {
+	shard, of, err := dsmphase.ParseShard(shardArg)
+	if err != nil {
+		return err
+	}
+	art := &dsmphase.ShardArtifact{Format: dsmphase.ShardFormat, Shard: shard, Of: of}
+	for _, g := range grids {
+		opts := makeOpts()
+		if g.tuning {
+			// The tuning grid needs the online adaptive-loop hook so each
+			// cell's artifact entry carries the scorecard payload.
+			hook, err := g.spec.TuningHook()
+			if err != nil {
+				return err
+			}
+			opts.Hook = hook
+		}
+		if withTrace {
+			opts.Hook = dsmphase.TraceHook(opts.Hook)
+		}
+		results := g.spec.RunShard(shard, of, opts)
+		sg, err := dsmphase.NewShardGrid(g.name, g.spec, results, g.tuning, withTrace)
+		if err != nil {
+			return err
+		}
+		art.Grids = append(art.Grids, sg)
+	}
+	if out == "-" {
+		return dsmphase.WriteShardArtifact(stdout, art)
+	}
+	return dsmphase.WriteShardArtifactFile(out, art)
+}
+
+// mergeGrids reads a complete shard-artifact set and reassembles every
+// grid's report through the same aggregation path the unsharded run
+// uses. An artifact grid the merge-side flags did not select (e.g.
+// shards ran with -ablation, the merge without) is noted on stderr so
+// the data is not silently dropped; the reverse — a selected grid the
+// artifacts lack — is a hard error from MergeShards.
+func mergeGrids(grids []grid, files []string, stderr io.Writer) (map[string]*dsmphase.Report, *dsmphase.TuningReport, error) {
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("-merge needs shard artifact files as arguments")
+	}
+	arts, err := dsmphase.ReadShardArtifactFiles(files)
+	if err != nil {
+		return nil, nil, err
+	}
+	reports := map[string]*dsmphase.Report{}
+	var tuningRep *dsmphase.TuningReport
+	selected := map[string]bool{}
+	for _, g := range grids {
+		selected[g.name] = true
+		results, err := dsmphase.MergeShards(g.spec, g.name, arts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if g.tuning {
+			if tuningRep, err = g.spec.AssembleTuning(results); err != nil {
+				return nil, nil, err
+			}
+		} else {
+			reports[g.name] = g.spec.Assemble(results)
+		}
+	}
+	for _, ag := range arts[0].Grids {
+		if !selected[ag.Name] {
+			fmt.Fprintf(stderr, "experiments: note: shard artifacts carry grid %q, which the merge flags did not select; rerun -merge with the shard run's flags to render it\n", ag.Name)
+		}
+	}
+	return reports, tuningRep, nil
+}
+
 // ablationSpec is the named DDS-design ablation grid: each variant
 // disables one ingredient of the data distribution scalar (the
 // contention vector, the hop-distance matrix) or swaps the network for
@@ -156,10 +342,8 @@ func ablationSpec(base []dsmphase.SpecOption) *dsmphase.Spec {
 	)...)
 }
 
-// reportAblation runs the ablation grid and appends its markdown
-// scorecard.
-func reportAblation(w io.Writer, base []dsmphase.SpecOption, opts dsmphase.EngineOptions) error {
-	rep := ablationSpec(base).Run(opts)
+// reportAblation appends the ablation grid's markdown scorecard.
+func reportAblation(w io.Writer, rep *dsmphase.Report) error {
 	enc, err := dsmphase.NewEncoder("markdown", "Ablation — DDS design choices")
 	if err != nil {
 		return err
@@ -171,21 +355,15 @@ func reportAblation(w io.Writer, base []dsmphase.SpecOption, opts dsmphase.Engin
 	return nil
 }
 
-// reportTuning closes the adaptive loop end to end: the detector ×
-// predictor × controller grid runs on live simulations (thresholds
-// picked from each cell's CoV curve within the phase budget, recorded
-// intervals classified into phase streams, one online AdaptiveLoop per
-// processor) and lands as a replicate-banded win-rate scorecard in the
-// chosen format.
-func reportTuning(w io.Writer, enc dsmphase.TuningEncoder, base []dsmphase.SpecOption, opts dsmphase.EngineOptions) error {
-	spec := dsmphase.NewSpec(append(base,
+// tuningSpec is the adaptive-tuning grid: the detector × predictor ×
+// controller closed loop on live simulations (thresholds picked from
+// each cell's CoV curve within the phase budget, recorded intervals
+// classified into phase streams, one online AdaptiveLoop per
+// processor), rendered as a replicate-banded win-rate scorecard.
+func tuningSpec(base []dsmphase.SpecOption) *dsmphase.Spec {
+	return dsmphase.NewSpec(append(base,
 		dsmphase.WithDetectors(dsmphase.DetectorBBV, dsmphase.DetectorBBVDDV),
 	)...)
-	rep, err := spec.RunTuning(opts)
-	if err != nil {
-		return err
-	}
-	return enc.Encode(w, rep)
 }
 
 // reportSkipped lists failed cells; the engine isolates them so the

@@ -2,8 +2,14 @@ package main
 
 import (
 	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"dsmphase"
 )
 
 // report runs the command end to end and returns its stdout.
@@ -219,6 +225,183 @@ func TestExtendedPanelAlias(t *testing.T) {
 	}
 	if strings.Contains(out.String(), "skipped") {
 		t.Errorf("extended panel skipped cells:\n%s", out.String())
+	}
+}
+
+// shardFiles runs the command once per shard and returns the artifact
+// paths.
+func shardFiles(t *testing.T, of int, extra ...string) []string {
+	t.Helper()
+	dir := t.TempDir()
+	files := make([]string, of)
+	for shard := 0; shard < of; shard++ {
+		files[shard] = filepath.Join(dir, fmt.Sprintf("shard%d.json", shard))
+		args := append([]string{"-size", "test", "-interval", "40000", "-apps", "lu", "-seed", "1",
+			"-shard", fmt.Sprintf("%d/%d", shard, of),
+			"-shard-out", files[shard]}, extra...)
+		var out, errOut bytes.Buffer
+		if err := run(args, &out, &errOut); err != nil {
+			t.Fatalf("run(%v): %v (stderr: %s)", args, err, errOut.String())
+		}
+		if out.Len() != 0 {
+			t.Fatalf("shard mode with -shard-out file still wrote %d bytes to stdout", out.Len())
+		}
+	}
+	return files
+}
+
+// TestShardMergeByteIdentity is the cross-machine acceptance check: a
+// 2-way shard run plus -merge must reproduce the unsharded stdout byte
+// for byte, including the ablation and tuning scorecards.
+func TestShardMergeByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report run")
+	}
+	extra := []string{"-replicates", "2", "-ablation", "-tuning"}
+	want := report(t, extra...)
+	files := shardFiles(t, 2, extra...)
+	args := append(append([]string{"-size", "test", "-interval", "40000", "-apps", "lu", "-seed", "1",
+		"-merge"}, extra...), files...)
+	var out, errOut bytes.Buffer
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run(%v): %v (stderr: %s)", args, err, errOut.String())
+	}
+	if out.String() != want {
+		t.Errorf("merged report differs from unsharded run:\n--- unsharded ---\n%s\n--- merged ---\n%s",
+			want, out.String())
+	}
+
+	// A merge whose flags select fewer grids than the artifacts carry
+	// must note the dropped grids on stderr instead of silently
+	// discarding hours of shard work.
+	args = append([]string{"-size", "test", "-interval", "40000", "-apps", "lu", "-seed", "1",
+		"-replicates", "2", "-merge"}, files...)
+	out.Reset()
+	errOut.Reset()
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run(%v): %v (stderr: %s)", args, err, errOut.String())
+	}
+	for _, name := range []string{"ablation", "tuning"} {
+		if !strings.Contains(errOut.String(), `"`+name+`"`) {
+			t.Errorf("merge without -%s did not note the unconsumed %q grid:\n%s", name, name, errOut.String())
+		}
+	}
+}
+
+// TestShardArtifactShape checks the shard artifact carries one grid per
+// report section and round-trips through the public reader.
+func TestShardArtifactShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report run")
+	}
+	files := shardFiles(t, 1, "-tuning")
+	f, err := os.Open(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	art, err := dsmphase.ReadShardArtifact(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"figure2", "figure4", "tuning"} {
+		if _, ok := art.Grid(name); !ok {
+			t.Errorf("artifact missing grid %q", name)
+		}
+	}
+	if _, ok := art.Grid("ablation"); ok {
+		t.Error("artifact has an ablation grid without -ablation")
+	}
+	if per, cells := art.MeanCellWall(); cells == 0 || per <= 0 {
+		t.Errorf("artifact carries no usable timings: per=%v cells=%d", per, cells)
+	}
+}
+
+// TestMergeFlagValidation checks -merge failure modes: no files, and
+// artifacts from a mismatched flag set.
+func TestMergeFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report run")
+	}
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-merge"}, &out, &errOut); err == nil {
+		t.Error("-merge with no files accepted")
+	}
+	files := shardFiles(t, 2)
+	args := append([]string{"-size", "test", "-interval", "40000", "-apps", "lu", "-seed", "2",
+		"-merge"}, files...)
+	if err := run(args, &out, &errOut); err == nil {
+		t.Error("merge accepted shards produced under a different seed")
+	} else if !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("mismatch error unhelpful: %v", err)
+	}
+	if err := run([]string{"-shard", "0/2", "-merge"}, &out, &errOut); err == nil {
+		t.Error("-shard combined with -merge accepted")
+	}
+	if err := run([]string{"-shard", "5/2"}, &out, &errOut); err == nil {
+		t.Error("out-of-range -shard accepted")
+	}
+}
+
+// TestEtaFromSeedsProgress checks -eta-from accepts a prior artifact
+// and the progress stream still renders ETAs.
+func TestEtaFromSeedsProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report run")
+	}
+	files := shardFiles(t, 1)
+	var out, errOut bytes.Buffer
+	args := []string{"-size", "test", "-interval", "40000", "-apps", "lu",
+		"-progress", "-eta-from", files[0]}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	if !strings.Contains(errOut.String(), "eta") {
+		t.Errorf("progress stream lost its ETA:\n%s", errOut.String())
+	}
+	if err := run([]string{"-eta-from", filepath.Join(t.TempDir(), "nope.json")}, &out, &errOut); err == nil {
+		t.Error("missing -eta-from file accepted")
+	}
+}
+
+// TestApplyPreset checks the paper preset rewrites only the flags the
+// user left at their defaults.
+func TestApplyPreset(t *testing.T) {
+	newFS := func(args ...string) (*flag.FlagSet, *string, *uint64, *int) {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		size := fs.String("size", "small", "")
+		interval := fs.Uint64("interval", 0, "")
+		replicates := fs.Int("replicates", 1, "")
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return fs, size, interval, replicates
+	}
+	paper := func(size *string, interval *uint64, replicates *int) func() {
+		return func() { *size, *interval, *replicates = "full", 3_000_000, 5 }
+	}
+
+	fs, size, interval, replicates := newFS()
+	if err := applyPreset(fs, "paper", paper(size, interval, replicates)); err != nil {
+		t.Fatal(err)
+	}
+	if *size != "full" || *interval != 3_000_000 || *replicates != 5 {
+		t.Errorf("bare preset: size=%s interval=%d replicates=%d", *size, *interval, *replicates)
+	}
+
+	fs, size, interval, replicates = newFS("-size", "test", "-replicates", "2")
+	if err := applyPreset(fs, "paper", paper(size, interval, replicates)); err != nil {
+		t.Fatal(err)
+	}
+	if *size != "test" || *replicates != 2 {
+		t.Errorf("explicit flags overridden by preset: size=%s replicates=%d", *size, *replicates)
+	}
+	if *interval != 3_000_000 {
+		t.Errorf("unset flag not preset: interval=%d", *interval)
+	}
+
+	if err := applyPreset(fs, "galactic", func() {}); err == nil {
+		t.Error("unknown preset accepted")
 	}
 }
 

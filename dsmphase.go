@@ -38,6 +38,7 @@ package dsmphase
 
 import (
 	"io"
+	"time"
 
 	"dsmphase/internal/core"
 	"dsmphase/internal/harness"
@@ -511,3 +512,86 @@ func OperatingPoint(c Curve, phaseBudget float64) (thBBV, thDDS float64) {
 // CellHook is the engine's per-cell extension point (see
 // harness.CellHook); the tuning driver is built on it.
 type CellHook = harness.CellHook
+
+// ---- Cross-machine sharding: Spec → shard artifacts → merged report ----
+//
+// A Spec's grid shards across machines: worker i runs
+// Spec.RunShard(i, n) (or RunTuningShard) and serializes the results
+// with NewShardGrid + WriteShardArtifact; the merge side reads the n
+// artifacts, reassembles plan-ordered results with MergeShards, and
+// Spec.Assemble / Spec.AssembleTuning reproduce the unsharded report
+// byte for byte in every encoder format. See docs/MERGE_FORMAT.md.
+
+// ShardFormat is the versioned format tag of a shard artifact.
+const ShardFormat = harness.ShardFormat
+
+// ShardArtifact is one worker's serialized shard output.
+type ShardArtifact = harness.ShardArtifact
+
+// ShardGrid is one experiment grid's shard within an artifact.
+type ShardGrid = harness.ShardGrid
+
+// ShardCell is one serialized cell result.
+type ShardCell = harness.ShardCell
+
+// TracedExtra is TraceHook's payload: recorded interval signatures
+// alongside the inner hook payload.
+type TracedExtra = harness.TracedExtra
+
+// NewShardGrid captures one Spec's shard results as an artifact grid;
+// tuning grids record their axes, and includeTrace serializes interval
+// records captured via TraceHook.
+func NewShardGrid(name string, s *Spec, results []CellResult, tuning, includeTrace bool) (ShardGrid, error) {
+	return harness.NewShardGrid(name, s, results, tuning, includeTrace)
+}
+
+// WriteShardArtifact serializes a shard artifact as versioned JSON.
+func WriteShardArtifact(w io.Writer, a *ShardArtifact) error {
+	return harness.WriteShardArtifact(w, a)
+}
+
+// ReadShardArtifact deserializes and version-checks a shard artifact.
+func ReadShardArtifact(r io.Reader) (*ShardArtifact, error) {
+	return harness.ReadShardArtifact(r)
+}
+
+// WriteShardArtifactFile serializes a shard artifact to a file path.
+func WriteShardArtifactFile(path string, a *ShardArtifact) error {
+	return harness.WriteShardArtifactFile(path, a)
+}
+
+// ReadShardArtifactFile reads and version-checks one artifact file.
+func ReadShardArtifactFile(path string) (*ShardArtifact, error) {
+	return harness.ReadShardArtifactFile(path)
+}
+
+// ReadShardArtifactFiles reads a shard-artifact set (e.g. a -merge
+// argument list).
+func ReadShardArtifactFiles(paths []string) ([]*ShardArtifact, error) {
+	return harness.ReadShardArtifactFiles(paths)
+}
+
+// MergeShards validates a complete shard set and reassembles the named
+// grid's plan-ordered cell results, ready for Spec.Assemble or
+// Spec.AssembleTuning.
+func MergeShards(s *Spec, name string, arts []*ShardArtifact) ([]CellResult, error) {
+	return harness.MergeShards(s, name, arts)
+}
+
+// ParseShard parses a "-shard i/n" flag value.
+func ParseShard(v string) (shard, of int, err error) { return harness.ParseShard(v) }
+
+// TraceHook wraps a CellHook so every cell's payload also carries the
+// simulation's recorded interval signatures (persisted by shard
+// artifacts when trace capture is enabled).
+func TraceHook(inner CellHook) CellHook { return harness.TraceHook(inner) }
+
+// UnwrapExtra strips a TracedExtra wrapper from a cell payload.
+func UnwrapExtra(extra any) any { return harness.UnwrapExtra(extra) }
+
+// SeededProgressPrinter is ProgressPrinter with an ETA prior taken from
+// a previous run's persisted per-cell timings (see
+// ShardArtifact.MeanCellWall).
+func SeededProgressPrinter(w io.Writer, perCell time.Duration, cells int) func(done, total int, r CellResult) {
+	return harness.SeededProgressPrinter(w, perCell, cells)
+}

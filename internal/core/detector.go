@@ -1,5 +1,7 @@
 package core
 
+import "fmt"
+
 // Detector kinds.
 type DetectorKind int
 
@@ -31,6 +33,18 @@ func (k DetectorKind) String() string {
 	default:
 		return "unknown"
 	}
+}
+
+// ParseDetectorKind converts a figure/table detector name ("BBV",
+// "BBV+DDV", "DDS", "WSS") back to its kind — the inverse of String,
+// used by serialized experiment artifacts.
+func ParseDetectorKind(name string) (DetectorKind, error) {
+	for _, k := range []DetectorKind{DetectorBBV, DetectorBBVDDV, DetectorDDS, DetectorWSS} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown detector kind %q", name)
 }
 
 // IntervalSignature is everything the phase-detection hardware observes

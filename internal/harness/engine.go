@@ -323,22 +323,45 @@ func RunPlan(p *Plan, opts Options) []CellResult {
 // print what it returns. Cells vary widely in cost (a 32P full-size
 // simulation versus a cached sweep), so the estimate is the plain
 // completed-rate extrapolation — robust, monotone-improving, and free
-// of per-workload modelling.
+// of per-workload modelling. Seed lets a prior run's persisted per-cell
+// timings (shard artifacts carry them) stand in for the first
+// completions, so long runs show a useful ETA from cell one.
 type ETA struct {
 	start time.Time
+	// The prior: priorCells virtual completions of priorPer each, blended
+	// with the observed rate and fading as real completions accumulate.
+	priorPer   time.Duration
+	priorCells int
 }
 
 // NewETA starts the clock.
 func NewETA() *ETA { return &ETA{start: time.Now()} }
 
+// Seed installs a prior from a previous run: cells completions averaging
+// perCell each. The prior acts as that many virtual observations, so its
+// weight fades as the live run accumulates real completions. Non-positive
+// arguments clear the prior.
+func (e *ETA) Seed(perCell time.Duration, cells int) *ETA {
+	if perCell <= 0 || cells <= 0 {
+		e.priorPer, e.priorCells = 0, 0
+		return e
+	}
+	e.priorPer, e.priorCells = perCell, cells
+	return e
+}
+
 // Observe reports the elapsed time and the estimated remaining time
-// after done of total cells have completed. done must be ≥ 1.
+// after done of total cells have completed. done must be ≥ 1 (with a
+// seeded prior, done 0 also yields an estimate).
 func (e *ETA) Observe(done, total int) (elapsed, remaining time.Duration) {
 	elapsed = time.Since(e.start)
-	if done <= 0 || done >= total {
+	if done >= total || done < 0 || (done == 0 && e.priorCells == 0) {
 		return elapsed, 0
 	}
-	per := elapsed / time.Duration(done)
+	// Blend the prior's virtual completions with the observed ones:
+	// per-cell estimate = (elapsed + prior time) / (done + prior cells).
+	per := (elapsed + e.priorPer*time.Duration(e.priorCells)) /
+		time.Duration(done+e.priorCells)
 	return elapsed, per * time.Duration(total-done)
 }
 
@@ -347,7 +370,15 @@ func (e *ETA) Observe(done, total int) (elapsed, remaining time.Duration) {
 // w, with a fresh ETA clock. Use one printer per Run so the estimator
 // never mixes plans.
 func ProgressPrinter(w io.Writer) func(done, total int, r CellResult) {
-	eta := NewETA()
+	return SeededProgressPrinter(w, 0, 0)
+}
+
+// SeededProgressPrinter is ProgressPrinter with an ETA prior: perCell
+// and cells describe a previous run's persisted timings (see
+// ShardArtifact.MeanCellWall), so the first line already carries a
+// calibrated estimate. Zero arguments reduce to ProgressPrinter.
+func SeededProgressPrinter(w io.Writer, perCell time.Duration, cells int) func(done, total int, r CellResult) {
+	eta := NewETA().Seed(perCell, cells)
 	return func(done, total int, r CellResult) {
 		_, remaining := eta.Observe(done, total)
 		fmt.Fprintf(w, "[%d/%d] %s (cell %v, eta %v)\n", done, total, r.Cell.Label(),

@@ -2,6 +2,38 @@
 // a workload on the DSM machine once, records per-interval signatures,
 // then sweeps classification thresholds offline to produce the CoV
 // curves of Figures 2 and 4.
+//
+// The package is layered, bottom up:
+//
+//   - The engine (engine.go): a Plan of independent Cells executed by a
+//     Runner over a bounded worker pool, with a memoizing record cache
+//     (cells sharing a simulation share one machine run), per-cell error
+//     isolation and ordered aggregation — output is independent of the
+//     worker count.
+//   - The declarative surface (spec.go, report.go, encoders.go): a Spec
+//     describes a grid (workloads × procs × detectors × replicates ×
+//     named variants) and compiles it onto the engine; Spec.Run
+//     aggregates cells into a Report of per-configuration mean ± 95% CI
+//     bands, rendered by the pluggable text/CSV/JSON/markdown Encoders.
+//     Spec.Assemble is the aggregation half alone, for results that
+//     arrive from elsewhere (a shard merge).
+//   - The tuning driver (tuning.go, tuning_encoders.go): Spec.RunTuning
+//     closes the paper's detect → predict → reconfigure loop online over
+//     live simulations through the engine's CellHook and aggregates a
+//     replicate-banded TuningReport scorecard, with its own encoder
+//     family.
+//   - Cross-machine sharding (shard.go): Spec.RunShard runs a
+//     hash-partitioned subset of the grid and serializes it as a
+//     versioned JSON shard artifact (docs/MERGE_FORMAT.md); MergeShards
+//     validates a complete shard set and reassembles the plan-ordered
+//     results so Assemble/AssembleTuning reproduce the unsharded
+//     report byte for byte.
+//
+// Everything above the simulator is a pure function of deterministic
+// inputs — seeds derive order-free via DeriveSeed, aggregation is in
+// plan order, encoders never emit wall-clock fields — which is what
+// makes parallel == serial and sharded == unsharded exact, testable
+// guarantees rather than aspirations.
 package harness
 
 import (

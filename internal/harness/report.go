@@ -55,8 +55,19 @@ type Report struct {
 // configuration's band independent of the grid's enumeration order.
 func (s *Spec) Run(opts Options) *Report {
 	start := time.Now()
+	rep := s.Assemble(RunPlan(s.Plan(), opts))
+	rep.Wall = time.Since(start)
+	return rep
+}
+
+// Assemble folds plan-ordered cell results into the Spec's Report —
+// the aggregation half of Run, split out so merged shard results (see
+// MergeShards) flow through the identical path and produce the
+// identical bytes from every encoder. results must be in Spec.Plan
+// order (cell index = configuration·replicates + replicate), which is
+// exactly what the engine and the shard merge both guarantee.
+func (s *Spec) Assemble(results []CellResult) *Report {
 	configs := s.Configurations()
-	results := RunPlan(s.Plan(), opts)
 	rep := &Report{
 		Size:       s.size,
 		Seed:       s.seed,
@@ -80,7 +91,6 @@ func (s *Spec) Run(opts Options) *Report {
 		cr.Band = stats.BandAcross(curves)
 		rep.Configs[i] = cr
 	}
-	rep.Wall = time.Since(start)
 	return rep
 }
 

@@ -280,22 +280,48 @@ func tuningHook(preds []string, ctls []ControllerSpec, budget float64) CellHook 
 // independent of the worker count. Any Hook already set on opts is
 // replaced by the tuning driver.
 func (s *Spec) RunTuning(opts Options) (*TuningReport, error) {
+	var err error
+	if opts.Hook, err = s.TuningHook(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rep, err := s.AssembleTuning(RunPlan(s.Plan(), opts))
+	if err != nil {
+		return nil, err
+	}
+	rep.Wall = time.Since(start)
+	return rep, nil
+}
+
+// TuningHook validates the Spec's tuning axes and returns the engine
+// hook that drives the online adaptive loop for every cell. Sharded
+// tuning runs (Spec.RunTuningShard) install the same hook, so a shard
+// worker computes exactly the per-cell payload the merge-side
+// AssembleTuning expects.
+func (s *Spec) TuningHook() (CellHook, error) {
 	preds := s.Predictors()
 	for _, name := range preds {
 		if _, err := predictor.ByName(name); err != nil {
 			return nil, err
 		}
 	}
-	ctls := s.Controllers()
-	for _, c := range ctls {
+	for _, c := range s.Controllers() {
 		if c.TrialsPerConfig < 1 {
 			return nil, fmt.Errorf("harness: controller %q needs TrialsPerConfig >= 1", c.Name)
 		}
 	}
-	start := time.Now()
-	opts.Hook = tuningHook(preds, ctls, s.PhaseBudget())
+	return tuningHook(preds, s.Controllers(), s.PhaseBudget()), nil
+}
+
+// AssembleTuning folds plan-ordered cell results — whose Extra payloads
+// were produced by the Spec's TuningHook — into the replicate-banded
+// TuningReport: the aggregation half of RunTuning, split out so merged
+// shard results flow through the identical path and produce identical
+// scorecard bytes in every format.
+func (s *Spec) AssembleTuning(results []CellResult) (*TuningReport, error) {
+	preds := s.Predictors()
+	ctls := s.Controllers()
 	configs := s.Configurations()
-	results := RunPlan(s.Plan(), opts)
 
 	rep := &TuningReport{
 		Size:        s.size,
@@ -323,7 +349,7 @@ func (s *Spec) RunTuning(opts Options) (*TuningReport, error) {
 						row.Errors = append(row.Errors, cell.Err.Error())
 						continue
 					}
-					ct, ok := cell.Extra.(cellTuning)
+					ct, ok := UnwrapExtra(cell.Extra).(cellTuning)
 					if !ok || len(ct.rows) != rows {
 						row.Errors = append(row.Errors, "tuning hook payload missing")
 						continue
@@ -339,7 +365,6 @@ func (s *Spec) RunTuning(opts Options) (*TuningReport, error) {
 			}
 		}
 	}
-	rep.Wall = time.Since(start)
 	return rep, nil
 }
 
