@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check bench golden golden-update tuning-smoke shard-smoke ci
+.PHONY: build test vet fmt fmt-check bench bench-json bench-smoke golden golden-update tuning-smoke shard-smoke ci
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,29 @@ fmt-check:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Refresh the "current" run of the perf-trajectory artifact
+# (BENCH_baseline.json) from the Table I/II benchmarks. Earlier labeled
+# runs — e.g. the pinned pre-optimization numbers — are preserved;
+# compare runs with benchstat or by eye. DESIGN.md §10 explains the
+# artifact.
+#
+# Both targets stage go test's output in a temp file so a benchmark
+# failure fails the target — a straight pipe would take benchjson's
+# exit status and let a partial run slip through.
+bench-json:
+	@tmp=$$(mktemp) && trap 'rm -f "$$tmp"' EXIT && \
+	$(GO) test -bench 'BenchmarkTableI|BenchmarkTableII|BenchmarkStep' -benchtime 1s -run '^$$' . ./internal/machine > "$$tmp" && \
+	$(GO) run ./cmd/benchjson -label current -out BENCH_baseline.json < "$$tmp"
+
+# Non-gating perf smoke: the perf-tracked benchmarks must still run and
+# their output must still parse into the artifact schema. One iteration
+# each — this guards the toolchain, not the numbers.
+bench-smoke:
+	@tmp=$$(mktemp) && trap 'rm -f "$$tmp"' EXIT && \
+	$(GO) test -bench 'BenchmarkTableI|BenchmarkStep' -benchtime 1x -run '^$$' . ./internal/machine > "$$tmp" && \
+	$(GO) run ./cmd/benchjson -label smoke -out /dev/null < "$$tmp" && \
+	echo "bench-smoke: benchmarks run and parse"
 
 # The byte-identity gates: every Report and TuningReport encoder
 # against its golden file (the TestGolden pattern covers both
@@ -64,4 +87,4 @@ shard-smoke:
 	diff "$$tmp/unsharded.md" "$$tmp/merged.md" && \
 	echo "shard-smoke: merged report byte-identical"
 
-ci: build fmt-check vet test bench golden tuning-smoke shard-smoke
+ci: build fmt-check vet test bench bench-smoke golden tuning-smoke shard-smoke

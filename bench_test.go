@@ -55,25 +55,35 @@ func simulateOnce(b *testing.B, rc harness.RunConfig) (*machine.Machine, machine
 // ---- Table I: the simulated machine ----
 
 // BenchmarkTableI_MachineThroughput measures end-to-end simulation speed
-// of the Table I system (instructions simulated per second).
+// of the Table I system (instructions simulated per second) at the two
+// node counts the perf trajectory tracks (make bench-json /
+// BENCH_baseline.json). The 32P case is where scheduler overhead
+// dominates: the naive per-instruction min-scan costs O(P) per
+// committed instruction.
 func BenchmarkTableI_MachineThroughput(b *testing.B) {
-	rc := benchRC("lu", 8)
-	var instrs uint64
-	for i := 0; i < b.N; i++ {
-		_, sum := simulateOnce(b, rc)
-		instrs += sum.Instructions
+	for _, procs := range []int{8, 32} {
+		b.Run(fmt.Sprintf("%dP", procs), func(b *testing.B) {
+			rc := benchRC("lu", procs)
+			b.ReportAllocs()
+			var instrs uint64
+			for i := 0; i < b.N; i++ {
+				_, sum := simulateOnce(b, rc)
+				instrs += sum.Instructions
+			}
+			b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+		})
 	}
-	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
 }
 
 // BenchmarkTableI_ProtocolAccess measures a single coherence transaction
 // on the Table I memory system.
 func BenchmarkTableI_ProtocolAccess(b *testing.B) {
 	net := network.New(8, network.DefaultConfig())
-	home := func(line uint64) int { return int(line % 8) }
+	home := coherence.NewHomeMap(0, 8) // line % 8
 	p := coherence.New(8, cache.L1Default(), cache.L2Default(),
 		memory.DefaultConfig(), net, coherence.DefaultCosts(), home)
 	var t uint64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := p.Access(t, i%8, uint64(i%4096)*32, i%4 == 0)
@@ -85,6 +95,7 @@ func BenchmarkTableI_ProtocolAccess(b *testing.B) {
 func BenchmarkTableI_NetworkSend(b *testing.B) {
 	h := network.New(32, network.DefaultConfig())
 	var t uint64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t = h.Send(t, i%32, (i*7+5)%32, 40)
@@ -415,6 +426,7 @@ func BenchmarkAblation_SweepVsResim(b *testing.B) {
 			b.Fatal(err)
 		}
 		recs := m.RecordsByProc()
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			harness.Sweep(recs, harness.SweepConfig{
@@ -475,6 +487,7 @@ func BenchmarkManhattan(b *testing.B) {
 		x[i] = float64(i) / 32
 		y[i] = float64(31-i) / 32
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.Manhattan(x, y)
@@ -483,6 +496,7 @@ func BenchmarkManhattan(b *testing.B) {
 
 func BenchmarkAccumulator(b *testing.B) {
 	a := core.NewAccumulator(32)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.Instruction()
@@ -495,6 +509,7 @@ func BenchmarkAccumulator(b *testing.B) {
 func BenchmarkFootprintClassify(b *testing.B) {
 	ft := core.NewFootprintTable(32, 0.1)
 	sig := make([]float64, 32)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j := range sig {
@@ -508,6 +523,7 @@ func BenchmarkFootprintClassify(b *testing.B) {
 func BenchmarkFrequencyMatrix(b *testing.B) {
 	f := core.NewFrequencyMatrix(32)
 	buf := make([]uint64, 32)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.Access(i % 32)
@@ -527,6 +543,7 @@ func BenchmarkComputeDDS(b *testing.B) {
 		freq[i] = uint64(i * 100)
 		cont[i] = uint64(i * 500)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.ComputeDDS(3, freq, cont, d, core.DDSOptions{})
@@ -535,6 +552,7 @@ func BenchmarkComputeDDS(b *testing.B) {
 
 func BenchmarkGshare(b *testing.B) {
 	g := cpu.NewGshare(2048, 11)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.Update(uint32(i*4), i%3 != 0)

@@ -1,0 +1,170 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// repo's perf-trajectory artifact (BENCH_baseline.json): one labeled
+// run per invocation, carrying every reported metric (ns/op, Minstr/s,
+// B/op, allocs/op, custom b.ReportMetric units) per benchmark.
+//
+// When -out names an existing artifact the new run is merged into it:
+// a run with the same label is replaced in place, a new label is
+// appended. That is what lets the committed artifact keep the pinned
+// pre-optimization numbers while `make bench-json` refreshes the
+// "current" run on every host:
+//
+//	go test -bench 'TableI|TableII' -benchtime 5x -run '^$' . |
+//	    benchjson -label current -out BENCH_baseline.json
+//
+// Future PRs diff runs with benchstat or by eye; the artifact is plain
+// JSON with stable key order and no wall-clock fields of its own.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Format is the artifact version tag.
+const Format = "dsmphase-bench/1"
+
+// Run is one labeled benchmark sweep on one host.
+type Run struct {
+	Label  string `json:"label"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to
+	// unit → value, e.g. "Minstr/s" → 1.95, "allocs/op" → 0.
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+// Artifact is the whole perf-trajectory file.
+type Artifact struct {
+	Format string `json:"format"`
+	Runs   []Run  `json:"runs"`
+}
+
+func main() {
+	var (
+		label = flag.String("label", "current", "label of the run to write (an existing run with the same label is replaced)")
+		out   = flag.String("out", "-", `artifact path to merge into ("-" = stdout, no merge)`)
+	)
+	flag.Parse()
+	if err := run(os.Stdin, *label, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, label, out string) error {
+	r, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	r.Label = label
+	if len(r.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	art := Artifact{Format: Format}
+	if out != "-" {
+		if prev, err := os.ReadFile(out); err == nil && len(prev) > 0 {
+			if err := json.Unmarshal(prev, &art); err != nil {
+				return fmt.Errorf("%s: not a bench artifact: %w", out, err)
+			}
+			if art.Format != Format {
+				return fmt.Errorf("%s: format %q, want %q", out, art.Format, Format)
+			}
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+		art.Format = Format
+	}
+	merged := false
+	for i := range art.Runs {
+		if art.Runs[i].Label == label {
+			art.Runs[i] = r
+			merged = true
+			break
+		}
+	}
+	if !merged {
+		art.Runs = append(art.Runs, r)
+	}
+	enc, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(out, enc, 0o644)
+}
+
+// Parse reads `go test -bench` output and collects one Run (label left
+// empty). Non-benchmark lines other than the goos/goarch/cpu header are
+// ignored, so PASS/ok trailers and -v noise are harmless.
+func Parse(in io.Reader) (Run, error) {
+	r := Run{Benchmarks: map[string]map[string]float64{}}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			r.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			r.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			r.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 || len(f)%2 != 0 {
+			continue // benchmark header line ("BenchmarkX") or malformed
+		}
+		name := f[0]
+		// Strip the -GOMAXPROCS suffix so names are host-independent.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		metrics := map[string]float64{}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return r, fmt.Errorf("benchmark line %q: bad value %q", line, f[i])
+			}
+			metrics[f[i+1]] = v
+		}
+		r.Benchmarks[name] = metrics
+	}
+	return r, sc.Err()
+}
+
+// Names returns the artifact's benchmark names across all runs, sorted
+// (used by the -list convenience of tests and tooling).
+func (a Artifact) Names() []string {
+	seen := map[string]bool{}
+	for _, r := range a.Runs {
+		for n := range r.Benchmarks {
+			seen[n] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: dsmphase
+cpu: AMD EPYC 7B13
+BenchmarkTableI_MachineThroughput/8P-64         	       5	 22916968 ns/op	         1.950 Minstr/s	 9212345 B/op	   12345 allocs/op
+BenchmarkTableI_MachineThroughput/32P-64        	       2	511663948 ns/op	         0.4399 Minstr/s	34567890 B/op	  123456 allocs/op
+BenchmarkTableI_NetworkSend-64                  	14406022	        83.70 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	dsmphase	8.058s
+`
+
+func TestParse(t *testing.T) {
+	r, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Goos != "linux" || r.Goarch != "amd64" || r.CPU != "AMD EPYC 7B13" {
+		t.Errorf("header = %q/%q/%q", r.Goos, r.Goarch, r.CPU)
+	}
+	if len(r.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(r.Benchmarks))
+	}
+	m := r.Benchmarks["BenchmarkTableI_MachineThroughput/8P"]
+	if m == nil {
+		t.Fatal("8P benchmark missing (GOMAXPROCS suffix not stripped?)")
+	}
+	if m["Minstr/s"] != 1.95 {
+		t.Errorf("Minstr/s = %v, want 1.95", m["Minstr/s"])
+	}
+	if m["allocs/op"] != 12345 {
+		t.Errorf("allocs/op = %v", m["allocs/op"])
+	}
+	if v := r.Benchmarks["BenchmarkTableI_NetworkSend"]["ns/op"]; v != 83.70 {
+		t.Errorf("ns/op = %v", v)
+	}
+}
+
+func TestMergeReplacesSameLabelKeepsOthers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+
+	if err := run(strings.NewReader(sample), "pre", path); err != nil {
+		t.Fatal(err)
+	}
+	// A second run under a different label appends; same label replaces.
+	faster := strings.ReplaceAll(sample, "1.950", "3.900")
+	if err := run(strings.NewReader(faster), "current", path); err != nil {
+		t.Fatal(err)
+	}
+	evenFaster := strings.ReplaceAll(sample, "1.950", "7.800")
+	if err := run(strings.NewReader(evenFaster), "current", path); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art Artifact
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Format != Format {
+		t.Errorf("format = %q", art.Format)
+	}
+	if len(art.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2 (pre + current)", len(art.Runs))
+	}
+	if art.Runs[0].Label != "pre" || art.Runs[1].Label != "current" {
+		t.Errorf("labels = %q, %q", art.Runs[0].Label, art.Runs[1].Label)
+	}
+	pre := art.Runs[0].Benchmarks["BenchmarkTableI_MachineThroughput/8P"]["Minstr/s"]
+	cur := art.Runs[1].Benchmarks["BenchmarkTableI_MachineThroughput/8P"]["Minstr/s"]
+	if pre != 1.95 {
+		t.Errorf("pre run clobbered: Minstr/s = %v", pre)
+	}
+	if cur != 7.8 {
+		t.Errorf("current run not replaced: Minstr/s = %v", cur)
+	}
+	if got := art.Names(); len(got) != 3 || got[0] != "BenchmarkTableI_MachineThroughput/32P" {
+		t.Errorf("Names() = %v", got)
+	}
+}
+
+func TestEmptyInputFails(t *testing.T) {
+	if err := run(strings.NewReader("no benchmarks here\n"), "x", "-"); err == nil {
+		t.Fatal("want error on input without benchmark lines")
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"dsmphase"
 	"dsmphase/internal/network"
+	"dsmphase/internal/prof"
 	"dsmphase/internal/trace"
 )
 
@@ -30,6 +31,8 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write interval signatures as JSONL to this file")
 		csvOut   = flag.String("csv-out", "", "write an interval summary CSV to this file")
 		topology = flag.String("topology", "hypercube", "interconnect: hypercube (Table I) or mesh (ablation)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -41,6 +44,15 @@ func main() {
 		printTableII()
 		return
 	}
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	// fatal exits via os.Exit, which skips defers; route it through
+	// stopProfile so a failing run still flushes usable profiles.
+	stopProfile = stopProf
+	defer stopProf()
 
 	size, err := dsmphase.ParseSize(*sizeArg)
 	if err != nil {
@@ -149,7 +161,13 @@ func printTableII() {
 	w.Flush()
 }
 
+// stopProfile flushes any active profiles before a fatal exit; main
+// swaps in the real stopper once profiling starts. The success path
+// stops profiling via defer instead, so this runs at most once.
+var stopProfile = func() {}
+
 func fatal(err error) {
+	stopProfile()
 	fmt.Fprintln(os.Stderr, "dsmsim:", err)
 	os.Exit(1)
 }

@@ -38,6 +38,7 @@ import (
 
 	"dsmphase"
 	"dsmphase/internal/network"
+	"dsmphase/internal/prof"
 )
 
 func main() {
@@ -101,6 +102,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		shardTrace = fs.Bool("shard-trace", false, "embed interval records (internal/trace JSONL) in the shard artifact")
 		mergeFlag  = fs.Bool("merge", false, "merge the shard artifacts given as arguments into the report")
 		etaFrom    = fs.String("eta-from", "", "seed the -progress ETA from a prior run's shard artifact timings")
+		cpuProf    = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf    = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -108,6 +111,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return err
 	}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	if err := applyPreset(fs, *preset, func() {
 		*sizeArg, *interval, *replicates = "full", 3_000_000, 5
 	}); err != nil {

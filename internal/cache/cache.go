@@ -66,9 +66,13 @@ type Stats struct {
 
 // Cache is one set-associative cache. Lines are identified by their line
 // address (byte address >> lineShift).
+//
+// Invalid slots keep their tag at noTag, so the find loop tests one
+// word per way — no separate validity check on the hit path.
 type Cache struct {
 	cfg       Config
 	sets      int
+	ways      int
 	lineShift uint
 	setMask   uint64
 	tags      []uint64 // sets*ways
@@ -77,6 +81,12 @@ type Cache struct {
 	clock     uint64
 	st        Stats
 }
+
+// noTag marks an invalid slot's tag. No reachable line address collides
+// with it: line addresses are byte addresses shifted right by the line
+// bits, so all-ones would require a byte address beyond the address
+// space.
+const noTag = ^uint64(0)
 
 // New builds a cache from a geometry. Size, ways and line size must be
 // positive powers-of-two-compatible values (sets = size/line/ways must
@@ -100,15 +110,20 @@ func New(cfg Config) *Cache {
 		panic("cache: line size must be a power of two")
 	}
 	n := sets * cfg.Ways
-	return &Cache{
+	c := &Cache{
 		cfg:       cfg,
 		sets:      sets,
+		ways:      cfg.Ways,
 		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
 		setMask:   uint64(sets - 1),
 		tags:      make([]uint64, n),
 		state:     make([]State, n),
 		lruTick:   make([]uint64, n),
 	}
+	for i := range c.tags {
+		c.tags[i] = noTag
+	}
+	return c
 }
 
 // Config returns the cache geometry.
@@ -123,10 +138,14 @@ func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift }
 func (c *Cache) setOf(line uint64) int { return int(line & c.setMask) }
 
 func (c *Cache) find(line uint64) int {
-	set := c.setOf(line)
-	base := set * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		if c.state[base+w] != Invalid && c.tags[base+w] == line {
+	base := int(line&c.setMask) * c.ways
+	// One contiguous sub-slice per set: the way loop compares tags only
+	// (invalid slots hold noTag) with bounds checks hoisted to the slice
+	// expression — this is the hottest loop in the simulator's memory
+	// system.
+	tags := c.tags[base : base+c.ways]
+	for w := range tags {
+		if tags[w] == line {
 			return base + w
 		}
 	}
@@ -137,15 +156,38 @@ func (c *Cache) find(line uint64) int {
 // refreshes LRU and returns the line state; on a miss it returns
 // (false, Invalid). Lookup updates hit/miss statistics.
 func (c *Cache) Lookup(addr uint64) (hit bool, st State) {
+	_, hit, st = c.LookupWay(addr)
+	return hit, st
+}
+
+// LookupWay is Lookup returning also the slot index of the hit line
+// (-1 on a miss). The index stays valid while the line is resident —
+// Insert overwrites a present line in place and eviction invalidates it
+// — so callers may retain it as a way hint for Touch.
+func (c *Cache) LookupWay(addr uint64) (idx int32, hit bool, st State) {
 	c.clock++
-	idx := c.find(c.LineAddr(addr))
-	if idx < 0 {
+	i := c.find(addr >> c.lineShift)
+	if i < 0 {
 		c.st.Misses++
-		return false, Invalid
+		return -1, false, Invalid
 	}
 	c.st.Hits++
+	c.lruTick[i] = c.clock
+	return int32(i), true, c.state[i]
+}
+
+// Touch refreshes LRU and counts a hit for the resident line at a slot
+// previously returned by LookupWay or InsertWay, skipping the
+// associative search. Semantically identical to a Lookup that hits. It
+// panics if the slot no longer holds line — a stale way hint, which
+// would mean the caller's residency tracking broke.
+func (c *Cache) Touch(idx int32, line uint64) {
+	if c.tags[idx] != line {
+		panic("cache: Touch with stale way hint")
+	}
+	c.clock++
+	c.st.Hits++
 	c.lruTick[idx] = c.clock
-	return true, c.state[idx]
 }
 
 // Probe is like Lookup but does not touch LRU or statistics (used by
@@ -171,17 +213,24 @@ type Victim struct {
 // any, is returned so the caller can write back dirty data and send the
 // directory a replacement hint.
 func (c *Cache) Insert(addr uint64, st State) Victim {
+	v, _ := c.InsertWay(addr, st)
+	return v
+}
+
+// InsertWay is Insert returning also the slot that now holds the line
+// (usable as a way hint for Touch, like a LookupWay index).
+func (c *Cache) InsertWay(addr uint64, st State) (Victim, int32) {
 	c.clock++
 	line := c.LineAddr(addr)
 	if idx := c.find(line); idx >= 0 {
 		c.state[idx] = st
 		c.lruTick[idx] = c.clock
-		return Victim{}
+		return Victim{}, int32(idx)
 	}
 	set := c.setOf(line)
-	base := set * c.cfg.Ways
+	base := set * c.ways
 	victim := base
-	for w := 0; w < c.cfg.Ways; w++ {
+	for w := 0; w < c.ways; w++ {
 		if c.state[base+w] == Invalid {
 			victim = base + w
 			break
@@ -201,17 +250,21 @@ func (c *Cache) Insert(addr uint64, st State) Victim {
 	c.tags[victim] = line
 	c.state[victim] = st
 	c.lruTick[victim] = c.clock
-	return out
+	return out, int32(victim)
 }
 
 // SetState changes the state of a resident line; it reports whether the
-// line was present.
+// line was present. Setting Invalid removes the line (tag included, so
+// the find fast path never ghost-hits an invalidated slot).
 func (c *Cache) SetState(addr uint64, st State) bool {
 	idx := c.find(c.LineAddr(addr))
 	if idx < 0 {
 		return false
 	}
 	c.state[idx] = st
+	if st == Invalid {
+		c.tags[idx] = noTag
+	}
 	return true
 }
 
@@ -224,6 +277,7 @@ func (c *Cache) Invalidate(addr uint64) (prior State, present bool) {
 	}
 	prior = c.state[idx]
 	c.state[idx] = Invalid
+	c.tags[idx] = noTag
 	return prior, true
 }
 
@@ -238,5 +292,6 @@ func (c *Cache) ResetStats() { c.st = Stats{} }
 func (c *Cache) Flush() {
 	for i := range c.state {
 		c.state[i] = Invalid
+		c.tags[i] = noTag
 	}
 }

@@ -1,0 +1,38 @@
+package coherence
+
+// HomeMap maps a line address to its home node as (line >> Shift) mod N,
+// with the modulo strength-reduced to a mask when N is a power of two.
+// It replaces the old home-function closure on the protocol's hot path:
+// the mapping is two or three register operations, inlinable, with no
+// indirect call.
+type HomeMap struct {
+	shift uint
+	n     uint64
+	mask  uint64 // n-1 when n is a power of two, else 0 (modulo path)
+	pow2  bool
+}
+
+// NewHomeMap returns the mapping home(line) = (line >> shift) % n.
+// n must be positive. A shift ≥ 64 maps every line to node 0 (useful
+// for single-home test protocols).
+func NewHomeMap(shift uint, n int) HomeMap {
+	if n <= 0 {
+		panic("coherence: home map needs a positive node count")
+	}
+	h := HomeMap{shift: shift, n: uint64(n)}
+	if n&(n-1) == 0 {
+		h.mask = uint64(n - 1)
+		h.pow2 = true
+	}
+	return h
+}
+
+// Home returns the home node of the given line address. (Go defines
+// line >> s as 0 for s ≥ 64, so the ≥64-shift single-home case needs no
+// branch.)
+func (h HomeMap) Home(line uint64) int {
+	if h.pow2 {
+		return int((line >> h.shift) & h.mask)
+	}
+	return int((line >> h.shift) % h.n)
+}

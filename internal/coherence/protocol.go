@@ -1,6 +1,8 @@
 package coherence
 
 import (
+	"math/bits"
+
 	"dsmphase/internal/cache"
 	"dsmphase/internal/memory"
 	"dsmphase/internal/network"
@@ -67,15 +69,30 @@ type Protocol struct {
 	dirs  []*Directory
 	mems  []*memory.SDRAM
 	net   network.Topology
-	home  func(line uint64) int
+	home  HomeMap
 	lineB uint64
+	// lineShift replaces the divisions/multiplications between byte and
+	// line addresses with shifts on the hot path.
+	lineShift uint
+	// l1Hit/l2Hit are the hoisted hit latencies (previously re-read from
+	// the cache Config per access).
+	l1Hit uint64
+	l2Hit uint64
+	// l2way[proc][l1slot] is the L2 way hint: the L2 slot holding the
+	// same line as the (valid) L1 slot. Maintained by fillL1; lets an L1
+	// hit refresh the inclusive L2 copy's LRU and hit counters without a
+	// second associative search. A hint is only read when its L1 slot
+	// holds a valid line, and inclusion invalidates the L1 slot whenever
+	// the L2 copy is displaced, so a live hint can never be stale
+	// (cache.Touch asserts it).
+	l2way [][]int32
 	st    Stats
 }
 
 // New assembles a protocol engine for n processors. home maps a line
-// address to its home node and must return values in [0, n).
+// address to its home node in [0, n).
 func New(n int, l1cfg, l2cfg cache.Config, memCfg memory.Config,
-	net network.Topology, costs Costs, home func(line uint64) int) *Protocol {
+	net network.Topology, costs Costs, home HomeMap) *Protocol {
 	if n <= 0 {
 		panic("coherence: need at least one processor")
 	}
@@ -98,12 +115,18 @@ func New(n int, l1cfg, l2cfg cache.Config, memCfg memory.Config,
 		net:   net,
 		home:  home,
 		lineB: uint64(l2cfg.LineBytes),
+		l1Hit: l1cfg.HitCycles,
+		l2Hit: l2cfg.HitCycles,
+		l2way: make([][]int32, n),
 	}
+	p.lineShift = uint(bits.TrailingZeros64(p.lineB))
+	l1Slots := l1cfg.SizeBytes / l1cfg.LineBytes
 	for i := 0; i < n; i++ {
 		p.l1[i] = cache.New(l1cfg)
 		p.l2[i] = cache.New(l2cfg)
 		p.dirs[i] = NewDirectory()
 		p.mems[i] = memory.New(memCfg)
+		p.l2way[i] = make([]int32, l1Slots)
 	}
 	return p
 }
@@ -112,7 +135,7 @@ func New(n int, l1cfg, l2cfg cache.Config, memCfg memory.Config,
 func (p *Protocol) N() int { return p.n }
 
 // Home returns the home node of the line containing addr.
-func (p *Protocol) Home(addr uint64) int { return p.home(addr / p.lineB) }
+func (p *Protocol) Home(addr uint64) int { return p.home.Home(addr >> p.lineShift) }
 
 // LineBytes returns the coherence granularity.
 func (p *Protocol) LineBytes() uint64 { return p.lineB }
@@ -133,7 +156,7 @@ func (p *Protocol) Memory(i int) *memory.SDRAM { return p.mems[i] }
 func (p *Protocol) Stats() Stats { return p.st }
 
 // lineAddrBytes converts a line address back to a byte address.
-func (p *Protocol) lineAddrBytes(line uint64) uint64 { return line * p.lineB }
+func (p *Protocol) lineAddrBytes(line uint64) uint64 { return line << p.lineShift }
 
 // Access executes a load (write=false) or store (write=true) by proc at
 // byte address addr starting at time now.
@@ -143,42 +166,51 @@ func (p *Protocol) Access(now uint64, proc int, addr uint64, write bool) AccessR
 	} else {
 		p.st.Loads++
 	}
-	line := addr / p.lineB
+	line := addr >> p.lineShift
 	l1 := p.l1[proc]
 	l2 := p.l2[proc]
 
-	// L1 probe: the L1 mirrors L2 residency (inclusion); the
-	// authoritative coherence state lives in L2.
-	l1Hit, _ := l1.Lookup(addr)
-	l2Hit, l2State := l2.Lookup(addr)
+	// L1 probe: the L1 mirrors L2 residency AND state (inclusion is
+	// maintained on every fill, state change and invalidation), so an L1
+	// hit answers for the authoritative L2 state without the second
+	// associative search. The inclusive L2 copy still observes the
+	// access — its LRU tick and hit counter advance through the way
+	// hint, exactly as the old always-probe-both path left them.
+	l1Idx, l1Hit, l1State := l1.LookupWay(addr)
+	if l1Hit {
+		if !write || l1State == cache.Modified {
+			// Read hit, or write hit on the owned line: complete in L1.
+			l2.Touch(p.l2way[proc][l1Idx], line)
+			p.st.L1Hits++
+			return AccessResult{Done: now + p.l1Hit, HitLevel: 1}
+		}
+		// Write hit on a Shared line: upgrade (invalidate other
+		// sharers). The L2 copy is Shared too; refresh it and take the
+		// upgrade path at L2 hit latency, as before.
+		l2.Touch(p.l2way[proc][l1Idx], line)
+		return p.upgrade(now+p.l2Hit, proc, line, addr)
+	}
 
-	if l2Hit {
+	l2Idx, l2HitOK, l2State := l2.LookupWay(addr)
+	if l2HitOK {
 		if !write && (l2State == cache.Shared || l2State == cache.Modified) {
-			// Read hit.
-			if l1Hit {
-				p.st.L1Hits++
-				return AccessResult{Done: now + l1.Config().HitCycles, HitLevel: 1}
-			}
+			// Read hit in L2 only.
 			p.st.L2Hits++
-			p.fillL1(proc, addr, l2State)
-			return AccessResult{Done: now + l2.Config().HitCycles, HitLevel: 2}
+			p.fillL1(proc, addr, l2State, l2Idx)
+			return AccessResult{Done: now + p.l2Hit, HitLevel: 2}
 		}
 		if write && l2State == cache.Modified {
-			// Write hit on owned line.
-			if l1Hit {
-				p.st.L1Hits++
-				return AccessResult{Done: now + l1.Config().HitCycles, HitLevel: 1}
-			}
+			// Write hit on owned line, L2 only.
 			p.st.L2Hits++
-			p.fillL1(proc, addr, cache.Modified)
-			return AccessResult{Done: now + l2.Config().HitCycles, HitLevel: 2}
+			p.fillL1(proc, addr, cache.Modified, l2Idx)
+			return AccessResult{Done: now + p.l2Hit, HitLevel: 2}
 		}
 		// Write hit on a Shared line: upgrade (invalidate other sharers).
-		return p.upgrade(now+l2.Config().HitCycles, proc, line, addr)
+		return p.upgrade(now+p.l2Hit, proc, line, addr)
 	}
 
 	// Miss in L2: go to the home directory.
-	t := now + l2.Config().HitCycles // miss determination
+	t := now + p.l2Hit // miss determination
 	if write {
 		return p.storeMiss(t, proc, line, addr)
 	}
@@ -187,24 +219,27 @@ func (p *Protocol) Access(now uint64, proc int, addr uint64, write bool) AccessR
 
 // fillL1 inserts the line into L1, maintaining inclusion (victims are
 // silently dropped: L1 never holds the only dirty copy because stores
-// set Modified in both levels).
-func (p *Protocol) fillL1(proc int, addr uint64, st cache.State) {
-	p.l1[proc].Insert(addr, st)
+// set Modified in both levels). l2Idx is the L2 slot holding the same
+// line; it is recorded as the way hint for later L1 hits.
+func (p *Protocol) fillL1(proc int, addr uint64, st cache.State, l2Idx int32) {
+	_, l1Idx := p.l1[proc].InsertWay(addr, st)
+	p.l2way[proc][l1Idx] = l2Idx
 }
 
 // fillL2 inserts the line into L2, handling the displaced victim: dirty
 // victims are written back to their home memory; clean victims send the
 // home a replacement hint. Inclusion is maintained by invalidating the
 // victim in L1. Writeback traffic occupies the network and the home bank
-// at time t but does not extend the requester's critical path.
-func (p *Protocol) fillL2(t uint64, proc int, addr uint64, st cache.State) {
-	v := p.l2[proc].Insert(addr, st)
+// at time t but does not extend the requester's critical path. The
+// returned slot index is the new line's L2 way (for the L1 way hint).
+func (p *Protocol) fillL2(t uint64, proc int, addr uint64, st cache.State) int32 {
+	v, idx := p.l2[proc].InsertWay(addr, st)
 	if !v.Valid {
-		return
+		return idx
 	}
 	vBytes := p.lineAddrBytes(v.LineAddr)
 	p.l1[proc].Invalidate(vBytes)
-	vh := p.home(v.LineAddr)
+	vh := p.home.Home(v.LineAddr)
 	if v.State == cache.Modified {
 		p.st.Writebacks++
 		arr := p.net.Send(t, proc, vh, p.costs.DataBytes)
@@ -215,11 +250,13 @@ func (p *Protocol) fillL2(t uint64, proc int, addr uint64, st cache.State) {
 		// do not invalidate stale sharers.
 		p.dirs[vh].RemoveSharer(v.LineAddr, proc)
 	}
+	return idx
 }
 
 // loadMiss fetches the line for reading.
 func (p *Protocol) loadMiss(t uint64, proc int, line, addr uint64) AccessResult {
-	h := p.home(line)
+	h := p.home.Home(line)
+	lineBytes := p.lineAddrBytes(line)
 	res := AccessResult{Remote: h != proc}
 	p.st.DirectoryTrips++
 	if h != proc {
@@ -240,12 +277,12 @@ func (p *Protocol) loadMiss(t uint64, proc int, line, addr uint64) AccessResult 
 		p.st.Forwards++
 		// Forward to owner; owner downgrades M->S and supplies data.
 		t = p.net.Send(t, h, o, p.costs.CtrlBytes)
-		p.l2[o].SetState(p.lineAddrBytes(line), cache.Shared)
-		p.l1[o].SetState(p.lineAddrBytes(line), cache.Shared)
+		p.l2[o].SetState(lineBytes, cache.Shared)
+		p.l1[o].SetState(lineBytes, cache.Shared)
 		// Owner writes the dirty line back to home memory (off the
 		// requester's critical path once data is forwarded).
 		wb := p.net.Send(t, o, h, p.costs.DataBytes)
-		p.mems[h].Write(wb, p.lineAddrBytes(line))
+		p.mems[h].Write(wb, lineBytes)
 		if o != proc {
 			t = p.net.Send(t, o, proc, p.costs.DataBytes)
 			res.Remote = true
@@ -258,21 +295,22 @@ func (p *Protocol) loadMiss(t uint64, proc int, line, addr uint64) AccessResult 
 	default:
 		// Uncached or Shared: home memory supplies data.
 		res.MemoryAccess = true
-		t = p.mems[h].Read(t, p.lineAddrBytes(line))
+		t = p.mems[h].Read(t, lineBytes)
 		dir.AddSharer(line, proc)
 		if h != proc {
 			t = p.net.Send(t, h, proc, p.costs.DataBytes)
 		}
 	}
-	p.fillL2(t, proc, addr, cache.Shared)
-	p.fillL1(proc, addr, cache.Shared)
+	l2Idx := p.fillL2(t, proc, addr, cache.Shared)
+	p.fillL1(proc, addr, cache.Shared, l2Idx)
 	res.Done = t
 	return res
 }
 
 // storeMiss fetches the line for exclusive write.
 func (p *Protocol) storeMiss(t uint64, proc int, line, addr uint64) AccessResult {
-	h := p.home(line)
+	h := p.home.Home(line)
+	lineBytes := p.lineAddrBytes(line)
 	res := AccessResult{Remote: h != proc}
 	p.st.DirectoryTrips++
 	if h != proc {
@@ -290,15 +328,15 @@ func (p *Protocol) storeMiss(t uint64, proc int, line, addr uint64) AccessResult
 		}
 		p.st.Forwards++
 		t = p.net.Send(t, h, o, p.costs.CtrlBytes)
-		p.l2[o].Invalidate(p.lineAddrBytes(line))
-		p.l1[o].Invalidate(p.lineAddrBytes(line))
+		p.l2[o].Invalidate(lineBytes)
+		p.l1[o].Invalidate(lineBytes)
 		t = p.net.Send(t, o, proc, p.costs.DataBytes)
 		res.Remote = true
 	case SharedState:
 		// Invalidate every sharer; the requester waits for the slowest ack.
 		t = p.invalidateSharers(t, h, proc, line, e, &res)
 		res.MemoryAccess = true
-		rd := p.mems[h].Read(t, p.lineAddrBytes(line))
+		rd := p.mems[h].Read(t, lineBytes)
 		if rd > t {
 			t = rd
 		}
@@ -307,14 +345,14 @@ func (p *Protocol) storeMiss(t uint64, proc int, line, addr uint64) AccessResult
 		}
 	default: // Uncached
 		res.MemoryAccess = true
-		t = p.mems[h].Read(t, p.lineAddrBytes(line))
+		t = p.mems[h].Read(t, lineBytes)
 		if h != proc {
 			t = p.net.Send(t, h, proc, p.costs.DataBytes)
 		}
 	}
 	dir.SetOwner(line, proc)
-	p.fillL2(t, proc, addr, cache.Modified)
-	p.fillL1(proc, addr, cache.Modified)
+	l2Idx := p.fillL2(t, proc, addr, cache.Modified)
+	p.fillL1(proc, addr, cache.Modified, l2Idx)
 	res.Done = t
 	return res
 }
@@ -322,7 +360,7 @@ func (p *Protocol) storeMiss(t uint64, proc int, line, addr uint64) AccessResult
 // upgrade handles a store hit on a Shared line: the requester asks the
 // home to invalidate all other sharers, then gains ownership.
 func (p *Protocol) upgrade(t uint64, proc int, line, addr uint64) AccessResult {
-	h := p.home(line)
+	h := p.home.Home(line)
 	res := AccessResult{HitLevel: 2, Remote: h != proc}
 	p.st.DirectoryTrips++
 	if h != proc {
@@ -349,6 +387,7 @@ func (p *Protocol) upgrade(t uint64, proc int, line, addr uint64) AccessResult {
 // the last acknowledgment reaches h.
 func (p *Protocol) invalidateSharers(t uint64, h, requester int, line uint64, e Entry, res *AccessResult) uint64 {
 	latest := t
+	lineBytes := p.lineAddrBytes(line)
 	for s := 0; s < p.n; s++ {
 		if s == requester || e.Sharers&(1<<uint(s)) == 0 {
 			continue
@@ -356,8 +395,8 @@ func (p *Protocol) invalidateSharers(t uint64, h, requester int, line uint64, e 
 		p.st.Invalidations++
 		res.Invalidations++
 		arr := p.net.Send(t, h, s, p.costs.CtrlBytes)
-		p.l2[s].Invalidate(p.lineAddrBytes(line))
-		p.l1[s].Invalidate(p.lineAddrBytes(line))
+		p.l2[s].Invalidate(lineBytes)
+		p.l1[s].Invalidate(lineBytes)
 		ack := p.net.Send(arr, s, h, p.costs.CtrlBytes)
 		if ack > latest {
 			latest = ack

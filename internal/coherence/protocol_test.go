@@ -15,7 +15,7 @@ func testProtocol(n int) *Protocol {
 	l1 := cache.Config{SizeBytes: 256, Ways: 1, LineBytes: 32, HitCycles: 1}
 	l2 := cache.Config{SizeBytes: 1024, Ways: 2, LineBytes: 32, HitCycles: 12}
 	net := network.New(n, network.DefaultConfig())
-	home := func(line uint64) int { return int((line * 32 >> 20) % uint64(n)) }
+	home := NewHomeMap(20-5, n) // (line·32 >> 20) % n
 	return New(n, l1, l2, memory.DefaultConfig(), net, DefaultCosts(), home)
 }
 
@@ -250,7 +250,7 @@ func TestNewValidation(t *testing.T) {
 	l2bad.LineBytes = 64
 	l2bad.SizeBytes = 2048
 	net2 := network.New(2, network.DefaultConfig())
-	home := func(line uint64) int { return 0 }
+	home := NewHomeMap(64, 1) // every line homed at node 0
 	cases := []func(){
 		func() { New(0, l1, l2, memory.DefaultConfig(), net2, DefaultCosts(), home) },
 		func() { New(65, l1, l2, memory.DefaultConfig(), net2, DefaultCosts(), home) },

@@ -71,7 +71,17 @@ func (a *Accumulator) Total() uint64 { return a.totalInstr }
 // basic-block distribution for the interval). An interval with no
 // recorded instructions yields a zero vector.
 func (a *Accumulator) Snapshot() []float64 {
-	out := make([]float64, len(a.counts))
+	return a.SnapshotInto(make([]float64, len(a.counts)))
+}
+
+// SnapshotInto writes the normalized snapshot into dst, which must have
+// the accumulator's length, and returns it. Callers that record many
+// intervals hand in arena-backed slices so the per-interval hot path
+// allocates nothing (the machine's endInterval).
+func (a *Accumulator) SnapshotInto(dst []float64) []float64 {
+	if len(dst) != len(a.counts) {
+		panic("core: SnapshotInto needs a dst of the accumulator's size")
+	}
 	var sum uint64
 	for _, c := range a.counts {
 		sum += c
@@ -80,13 +90,16 @@ func (a *Accumulator) Snapshot() []float64 {
 	// attributed to any counter; they are dropped, as in the hardware,
 	// where the accumulator only advances on branch commits.
 	if sum == 0 {
-		return out
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
 	}
 	inv := 1 / float64(sum)
 	for i, c := range a.counts {
-		out[i] = float64(c) * inv
+		dst[i] = float64(c) * inv
 	}
-	return out
+	return dst
 }
 
 // Reset zeroes all counters, beginning a new interval.

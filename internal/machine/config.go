@@ -2,11 +2,14 @@
 // and drives parallel workloads through it, capturing per-interval phase
 // signatures (BBV snapshot, DDS, CPI) for the detectors in internal/core.
 //
-// Scheduling is min-clock: the machine repeatedly advances the processor
-// with the smallest local cycle count by one committed instruction.
+// Scheduling is min-clock: the machine always advances the processor
+// with the smallest local cycle count (ties to the lowest processor ID).
 // Combined with busy-until accounting in the network links, memory banks
 // and directories, this yields deterministic, contention-sensitive
-// timing without a global event queue.
+// timing without a global event queue. The production scheduler executes
+// the min-clock processor in batches up to the runner-up's clock
+// (run-until-horizon, sched.go), which commits the exact interleaving of
+// the per-instruction scan at a fraction of the scheduling cost.
 package machine
 
 import (
@@ -67,6 +70,11 @@ type Config struct {
 	// MaxInstructions, when non-zero, aborts the run after this many
 	// committed instructions per processor (runaway protection).
 	MaxInstructions uint64
+	// NaiveScheduler selects the original per-instruction min-scan
+	// scheduler instead of the run-until-horizon loop. The two produce
+	// byte-identical output (TestSchedulerEquivalence); the naive loop
+	// is O(instrs × Procs) and exists as the test oracle.
+	NaiveScheduler bool
 	// Online, when non-nil, runs a hardware phase detector on every
 	// processor during the simulation: each interval record carries the
 	// phase ID the hardware assigned at interval end (exactly what the

@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"dsmphase/internal/coherence"
 	"dsmphase/internal/core"
@@ -52,9 +53,30 @@ type Machine struct {
 	proto *coherence.Protocol
 	dist  *core.DistanceMatrix
 
-	// scratch for interval-end DDS gathering
+	// scratch for interval-end DDS gathering (reused every interval so
+	// the endInterval path does not allocate)
 	gatherVecs [][]uint64
-	barriers   uint64
+	contention []uint64
+	// bbvArena backs the BBV snapshots stored in interval records: one
+	// chunk serves bbvArenaChunk intervals, so steady-state recording
+	// allocates once per chunk instead of once per interval.
+	bbvArena []float64
+	barriers uint64
+}
+
+// bbvArenaChunk is the number of interval BBV snapshots carved from one
+// arena allocation.
+const bbvArenaChunk = 128
+
+// nextBBV returns a fresh arena-backed slice for one interval's BBV.
+func (m *Machine) nextBBV() []float64 {
+	size := m.cfg.AccumulatorSize
+	if len(m.bbvArena) < size {
+		m.bbvArena = make([]float64, bbvArenaChunk*size)
+	}
+	out := m.bbvArena[:size:size]
+	m.bbvArena = m.bbvArena[size:]
+	return out
 }
 
 // New assembles a machine and binds one thread per processor. The number
@@ -70,11 +92,10 @@ func New(cfg Config, threads []isa.Thread) *Machine {
 		panic("machine: interval length must be positive")
 	}
 	net := network.NewTopology(cfg.Topology, cfg.Procs, cfg.Net)
-	lineBytes := uint64(cfg.L2.LineBytes)
-	n := uint64(cfg.Procs)
-	home := func(line uint64) int {
-		return int((line * lineBytes >> HomeShift) % n)
-	}
+	// home(line) = (line·lineBytes >> HomeShift) % Procs, expressed as a
+	// precomputed shift-and-mod HomeMap (AddrAt's inverse).
+	lineShift := uint(bits.TrailingZeros(uint(cfg.L2.LineBytes)))
+	home := coherence.NewHomeMap(HomeShift-lineShift, cfg.Procs)
 	proto := coherence.New(cfg.Procs, cfg.L1, cfg.L2, cfg.Mem, net, cfg.Costs, home)
 	var dist *core.DistanceMatrix
 	if cfg.UniformDistance {
@@ -87,6 +108,14 @@ func New(cfg Config, threads []isa.Thread) *Machine {
 	for i := range m.gatherVecs {
 		m.gatherVecs[i] = make([]uint64, cfg.Procs)
 	}
+	m.contention = make([]uint64, cfg.Procs)
+	// With a declared instruction budget the per-processor interval
+	// count is bounded; pre-size the record slices so recording never
+	// regrows them.
+	recordCap := 0
+	if cfg.MaxInstructions > 0 {
+		recordCap = int(cfg.MaxInstructions/cfg.IntervalInstructions) + 1
+	}
 	m.procs = make([]*proc, cfg.Procs)
 	for i := 0; i < cfg.Procs; i++ {
 		p := &proc{
@@ -96,6 +125,9 @@ func New(cfg Config, threads []isa.Thread) *Machine {
 			freq:    core.NewFrequencyMatrix(cfg.Procs),
 			thread:  threads[i],
 			emitter: isa.NewEmitter(4096),
+		}
+		if recordCap > 0 {
+			p.records = make([]core.IntervalSignature, 0, recordCap)
 		}
 		if oc := cfg.Online; oc != nil {
 			switch oc.Kind {
@@ -151,23 +183,23 @@ func (s Summary) RemoteFraction() float64 {
 	return float64(s.RemoteAccesses) / float64(total)
 }
 
+// errDeadlock reports a scheduling dead end: no runnable processor, but
+// not every live processor is waiting at the barrier.
+var errDeadlock = fmt.Errorf("machine: deadlock — no runnable processor, not all at barrier")
+
 // Run drives all threads to completion and returns the run summary.
+// Scheduling uses the run-until-horizon loop (sched.go) unless the
+// configuration selects the naive per-instruction oracle; both produce
+// byte-identical observable output.
 func (m *Machine) Run() (Summary, error) {
-	for {
-		p := m.pickRunnable()
-		if p == nil {
-			if m.allDone() {
-				break
-			}
-			if m.allBlocked() {
-				m.releaseBarrier()
-				continue
-			}
-			return Summary{}, fmt.Errorf("machine: deadlock — no runnable processor, not all at barrier")
-		}
-		if err := m.step(p); err != nil {
-			return Summary{}, err
-		}
+	var err error
+	if m.cfg.NaiveScheduler {
+		err = m.runNaive()
+	} else {
+		err = m.runHorizon()
+	}
+	if err != nil {
+		return Summary{}, err
 	}
 	var s Summary
 	for _, p := range m.procs {
@@ -189,8 +221,12 @@ func (m *Machine) Run() (Summary, error) {
 	return s, nil
 }
 
-// pickRunnable returns the runnable processor with the smallest clock
-// (ties broken by processor ID for determinism), or nil.
+// pickRunnable returns the runnable processor with the smallest clock,
+// or nil. Ties break to the LOWEST processor ID — the scan visits
+// processors in ID order and replaces best only on a strictly smaller
+// clock — which is the determinism contract the horizon scheduler's
+// heap order (procLess) must and does reproduce; TestPickRunnableTieBreak
+// pins it on both schedulers.
 func (m *Machine) pickRunnable() *proc {
 	var best *proc
 	for _, p := range m.procs {
@@ -326,8 +362,8 @@ func (m *Machine) endInterval(p *proc) {
 	for q := 0; q < n; q++ {
 		m.gatherVecs[q] = m.procs[q].freq.QueryAndReset(p.id, m.gatherVecs[q])
 	}
-	contention := core.SumContention(m.gatherVecs, nil)
-	raw, norm := core.ComputeDDS(p.id, m.gatherVecs[p.id], contention, m.dist, m.cfg.DDS)
+	m.contention = core.SumContention(m.gatherVecs, m.contention)
+	raw, norm := core.ComputeDDS(p.id, m.gatherVecs[p.id], m.contention, m.dist, m.cfg.DDS)
 
 	if m.cfg.ChargeDDSGather && n > 1 {
 		// The exchange is n-1 request/reply pairs; the processor waits
@@ -348,7 +384,7 @@ func (m *Machine) endInterval(p *proc) {
 	}
 
 	cycles := p.clock - p.intervalStart
-	bbv := p.acc.Snapshot()
+	bbv := p.acc.SnapshotInto(m.nextBBV())
 	phaseID := -1
 	if p.table != nil {
 		phaseID, _ = p.table.Classify(bbv, norm)
@@ -387,7 +423,11 @@ func (m *Machine) RecordsByProc() [][]core.IntervalSignature {
 
 // Records returns all interval signatures flattened (processor-major).
 func (m *Machine) Records() []core.IntervalSignature {
-	var out []core.IntervalSignature
+	total := 0
+	for _, p := range m.procs {
+		total += len(p.records)
+	}
+	out := make([]core.IntervalSignature, 0, total)
 	for _, p := range m.procs {
 		out = append(out, p.records...)
 	}

@@ -1,0 +1,187 @@
+package machine
+
+// Run-until-horizon scheduling (DESIGN.md §10).
+//
+// The naive scheduler re-scans all P processors to find the minimum
+// clock before every committed instruction — O(instrs × P). But the
+// scan's answer is sticky: after the min-clock processor commits one
+// instruction it usually still holds the minimum clock, so the naive
+// scheduler would pick it again. The horizon scheduler exploits that:
+// it keeps runnable processors in a binary min-heap ordered by
+// (clock, id), takes the root, reads the runner-up's key once (the heap
+// is untouched while the taken processor runs, so the runner-up is
+// stable), and lets the processor execute a whole batch of instructions
+// until it stops being the scheduling winner or blocks (barrier
+// arrival / thread completion). The heap is then repaired with a single
+// sift-down of the root — no pop/push pair. Scheduling cost amortizes
+// to O(log P) heap work per batch instead of O(P) per instruction, and
+// the instruction interleaving — hence every timestamp, cache state and
+// statistic — is exactly the one the naive scan produces, which
+// TestSchedulerEquivalence pins and Config.NaiveScheduler lets any test
+// re-check against the oracle.
+
+// procLess orders processors by (clock, id): the scheduling winner is
+// the runnable processor with the smallest clock, ties broken by lowest
+// processor ID — the same total order pickRunnable's ID-ordered scan
+// implements, which is what makes runs deterministic.
+func procLess(a, b *proc) bool {
+	return a.clock < b.clock || (a.clock == b.clock && a.id < b.id)
+}
+
+// procHeap is a binary min-heap of runnable processors under procLess.
+// Only the root's clock ever changes (the taken processor runs while
+// everyone else stands still), so the heap needs no decrease-key:
+// takeMin, run the batch, fix — or removeMin when the processor
+// blocked.
+type procHeap struct {
+	h []*proc
+}
+
+func newProcHeap(capacity int) *procHeap {
+	return &procHeap{h: make([]*proc, 0, capacity)}
+}
+
+func (ph *procHeap) len() int { return len(ph.h) }
+
+// takeMin returns the scheduling winner (the root, left in place) and
+// the runner-up — the procLess-least of the root's children, which is
+// the second element of the heap's total order. It asserts the
+// determinism contract: among equal clocks, processors pop in ascending
+// ID order (a violation would mean the heap invariant broke and
+// replicated runs could diverge). The caller runs min, then calls fix
+// (still runnable) or removeMin (blocked).
+func (ph *procHeap) takeMin() (min, runnerUp *proc) {
+	switch len(ph.h) {
+	case 0:
+		return nil, nil
+	case 1:
+		return ph.h[0], nil
+	case 2:
+		min, runnerUp = ph.h[0], ph.h[1]
+	default:
+		min, runnerUp = ph.h[0], ph.h[1]
+		if procLess(ph.h[2], runnerUp) {
+			runnerUp = ph.h[2]
+		}
+	}
+	if runnerUp.clock == min.clock && runnerUp.id < min.id {
+		panic("machine: scheduler heap pops equal clocks out of ID order")
+	}
+	return min, runnerUp
+}
+
+// fix restores the heap order after the root's clock advanced.
+func (ph *procHeap) fix() { ph.siftDown(0) }
+
+// removeMin deletes the root (whose clock may have advanced past any
+// other entry by the time it blocked).
+func (ph *procHeap) removeMin() {
+	n := len(ph.h)
+	last := ph.h[n-1]
+	ph.h[n-1] = nil
+	ph.h = ph.h[:n-1]
+	if n > 1 {
+		ph.h[0] = last
+		ph.siftDown(0)
+	}
+}
+
+func (ph *procHeap) push(p *proc) {
+	ph.h = append(ph.h, p)
+	i := len(ph.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !procLess(ph.h[i], ph.h[parent]) {
+			break
+		}
+		ph.h[i], ph.h[parent] = ph.h[parent], ph.h[i]
+		i = parent
+	}
+}
+
+func (ph *procHeap) siftDown(i int) {
+	n := len(ph.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && procLess(ph.h[l], ph.h[smallest]) {
+			smallest = l
+		}
+		if r < n && procLess(ph.h[r], ph.h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		ph.h[i], ph.h[smallest] = ph.h[smallest], ph.h[i]
+		i = smallest
+	}
+}
+
+// runHorizon drives all threads to completion under the horizon
+// scheduler. Observable behavior is byte-identical to runNaive.
+func (m *Machine) runHorizon() error {
+	heap := newProcHeap(len(m.procs))
+	for _, p := range m.procs {
+		if !p.done && !p.atBarrier {
+			heap.push(p)
+		}
+	}
+	for {
+		p, next := heap.takeMin()
+		if p == nil {
+			if m.allDone() {
+				return nil
+			}
+			if m.allBlocked() {
+				m.releaseBarrier()
+				for _, q := range m.procs {
+					if !q.done && !q.atBarrier {
+						heap.push(q)
+					}
+				}
+				continue
+			}
+			return errDeadlock
+		}
+		// The horizon: p runs while it would still win the naive scan,
+		// i.e. while (p.clock, p.id) < (next.clock, next.id). next is
+		// stable for the whole batch — nothing else advances while p
+		// runs. With no other runnable processor the horizon is
+		// infinite: p runs until it blocks.
+		for {
+			if err := m.step(p); err != nil {
+				return err
+			}
+			if p.done || p.atBarrier {
+				heap.removeMin()
+				break
+			}
+			if next != nil && (p.clock > next.clock || (p.clock == next.clock && p.id > next.id)) {
+				heap.fix()
+				break
+			}
+		}
+	}
+}
+
+// runNaive is the original per-instruction min-scan scheduler, kept as
+// the equivalence oracle (Config.NaiveScheduler).
+func (m *Machine) runNaive() error {
+	for {
+		p := m.pickRunnable()
+		if p == nil {
+			if m.allDone() {
+				return nil
+			}
+			if m.allBlocked() {
+				m.releaseBarrier()
+				continue
+			}
+			return errDeadlock
+		}
+		if err := m.step(p); err != nil {
+			return err
+		}
+	}
+}

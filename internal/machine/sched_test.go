@@ -1,0 +1,180 @@
+package machine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dsmphase/internal/isa"
+	"dsmphase/internal/network"
+)
+
+// randThread emits a seeded pseudo-random mix of every instruction
+// class, with loads/stores spread across all home nodes and occasional
+// barriers — a fuzz-ish workload exercising the scheduler's blocking,
+// contention and interval paths.
+type randThread struct {
+	rng     *rand.Rand
+	batches int
+	procs   int
+	pc      uint32
+}
+
+func (t *randThread) NextBatch(e *isa.Emitter) bool {
+	if t.batches <= 0 {
+		return false
+	}
+	t.batches--
+	for i := 0; i < 200; i++ {
+		switch t.rng.Intn(10) {
+		case 0, 1, 2:
+			e.Int(t.pc+uint32(t.rng.Intn(64))*4, 1+t.rng.Intn(3))
+		case 3:
+			e.FP(t.pc+256, 1+t.rng.Intn(2))
+		case 4, 5, 6:
+			home := t.rng.Intn(t.procs)
+			off := uint64(t.rng.Intn(1<<14) * 32)
+			if t.rng.Intn(3) == 0 {
+				e.Store(t.pc+512, AddrAt(home, off))
+			} else {
+				e.Load(t.pc+512, AddrAt(home, off))
+			}
+		case 7, 8:
+			e.Branch(t.pc+uint32(t.rng.Intn(16))*4+1024, t.rng.Intn(3) != 0)
+		case 9:
+			if t.rng.Intn(8) == 0 {
+				e.Sync(t.pc + 2048)
+			} else {
+				e.Int(t.pc, 1)
+			}
+		}
+	}
+	return true
+}
+
+// buildRandMachine assembles a procs-node machine over randomized
+// threads. Non-power-of-two counts ride the mesh (the hypercube needs a
+// power of two); the 5-proc case is exactly why the mesh accepts any n.
+func buildRandMachine(procs int, seed int64, naive bool) *Machine {
+	cfg := DefaultConfig(procs)
+	cfg.IntervalInstructions = 300
+	cfg.NaiveScheduler = naive
+	if procs&(procs-1) != 0 {
+		cfg.Topology = network.KindMesh2D
+	}
+	threads := make([]isa.Thread, procs)
+	for i := range threads {
+		threads[i] = &randThread{
+			rng:     rand.New(rand.NewSource(seed + int64(i)*7919)),
+			batches: 6 + i%3,
+			procs:   procs,
+		}
+	}
+	return New(cfg, threads)
+}
+
+// TestSchedulerEquivalence pins the tentpole guarantee: the horizon
+// scheduler produces the exact observable output of the naive
+// per-instruction min-scan oracle — identical IntervalSignature
+// streams, Summary and Protocol.Stats — across system sizes including
+// a non-power-of-two count.
+func TestSchedulerEquivalence(t *testing.T) {
+	for _, procs := range []int{1, 2, 5, 8, 32} {
+		for seed := int64(1); seed <= 3; seed++ {
+			oracle := buildRandMachine(procs, seed, true)
+			horizon := buildRandMachine(procs, seed, false)
+
+			wantSum, err := oracle.Run()
+			if err != nil {
+				t.Fatalf("procs=%d seed=%d: oracle: %v", procs, seed, err)
+			}
+			gotSum, err := horizon.Run()
+			if err != nil {
+				t.Fatalf("procs=%d seed=%d: horizon: %v", procs, seed, err)
+			}
+
+			if gotSum != wantSum {
+				t.Errorf("procs=%d seed=%d: Summary diverged:\nhorizon %+v\noracle  %+v",
+					procs, seed, gotSum, wantSum)
+			}
+			if got, want := horizon.Protocol().Stats(), oracle.Protocol().Stats(); got != want {
+				t.Errorf("procs=%d seed=%d: Protocol.Stats diverged:\nhorizon %+v\noracle  %+v",
+					procs, seed, got, want)
+			}
+			if got, want := horizon.Records(), oracle.Records(); !reflect.DeepEqual(got, want) {
+				t.Errorf("procs=%d seed=%d: interval signature streams diverged (%d vs %d records)",
+					procs, seed, len(got), len(want))
+			}
+			if wantSum.Instructions == 0 {
+				t.Fatalf("procs=%d seed=%d: degenerate run, no instructions", procs, seed)
+			}
+		}
+	}
+}
+
+// TestPickRunnableTieBreak pins the documented determinism contract on
+// both scheduler implementations: among runnable processors with equal
+// clocks, the LOWEST processor ID runs first.
+func TestPickRunnableTieBreak(t *testing.T) {
+	m := buildRandMachine(4, 1, true)
+	// All processors start at clock 0 — a full tie.
+	if p := m.pickRunnable(); p == nil || p.id != 0 {
+		t.Fatalf("pickRunnable on all-zero clocks picked %+v, want proc 0", p)
+	}
+	m.procs[0].clock = 5
+	m.procs[2].clock = 1
+	m.procs[3].clock = 1
+	if p := m.pickRunnable(); p.id != 1 {
+		t.Errorf("pickRunnable picked proc %d, want 1 (clock 0)", p.id)
+	}
+	m.procs[1].atBarrier = true
+	if p := m.pickRunnable(); p.id != 2 {
+		t.Errorf("pickRunnable picked proc %d, want 2 (equal-clock tie to lowest ID)", p.id)
+	}
+}
+
+// TestProcHeapEqualClocksPopInIDOrder drives the heap directly: pushed
+// in scrambled order with equal clocks, takeMin/removeMin must yield
+// ascending processor IDs (the assert inside takeMin guards exactly
+// this).
+func TestProcHeapEqualClocksPopInIDOrder(t *testing.T) {
+	ph := newProcHeap(8)
+	for _, id := range []int{5, 1, 7, 0, 3, 6, 2, 4} {
+		ph.push(&proc{id: id, clock: 42})
+	}
+	for want := 0; want < 8; want++ {
+		p, _ := ph.takeMin()
+		if p == nil || p.id != want {
+			t.Fatalf("takeMin #%d = %+v, want id %d", want, p, want)
+		}
+		ph.removeMin()
+	}
+	if p, next := ph.takeMin(); p != nil || next != nil {
+		t.Errorf("empty heap takeMin = %v, %v", p, next)
+	}
+}
+
+// TestProcHeapRunnerUp checks takeMin's runner-up is the second element
+// of the heap's total order even when it sits in the root's second
+// child, and that fix() restores order after the root's clock advances.
+func TestProcHeapRunnerUp(t *testing.T) {
+	ph := newProcHeap(4)
+	a := &proc{id: 0, clock: 1}
+	b := &proc{id: 1, clock: 9}
+	c := &proc{id: 2, clock: 3}
+	d := &proc{id: 3, clock: 4}
+	for _, p := range []*proc{a, b, c, d} {
+		ph.push(p)
+	}
+	min, next := ph.takeMin()
+	if min != a || next != c {
+		t.Fatalf("takeMin = (id %d, id %d), want (0, 2)", min.id, next.id)
+	}
+	// The root runs past the runner-up; fix must promote c.
+	a.clock = 3.5
+	ph.fix()
+	min, next = ph.takeMin()
+	if min != c || next != a {
+		t.Fatalf("after fix: takeMin = (id %d, id %d), want (2, 0)", min.id, next.id)
+	}
+}

@@ -1,9 +1,15 @@
 package network
 
-// Mesh2D is a 2-D mesh with XY dimension-order wormhole routing — the
-// ablation topology. Node counts must allow a near-square factorization
-// into powers of two (any power-of-two count works: w = 2^ceil(d/2),
-// h = n/w).
+// Mesh2D is a 2-D mesh with dimension-order wormhole routing — the
+// ablation topology, and the one that accepts ANY positive node count
+// (the hypercube needs a power of two): nodes fill a near-square grid
+// row-major, with the last row possibly partial. Routing is XY, except
+// that a message LEAVING the partial last row corrects Y first: its
+// own row might not extend to the destination's x, while every row
+// above is full. Either order stays on populated nodes — x-correction
+// always runs inside a row that contains both endpoints' columns, and
+// y-correction only enters the partial row when the destination lives
+// there — and both are deterministic, so contention is reproducible.
 type Mesh2D struct {
 	cfg   Config
 	n     int
@@ -17,24 +23,18 @@ type linkKey struct {
 	from, to int
 }
 
-// NewMesh2D builds a w×h mesh for n nodes (n a positive power of two).
+// NewMesh2D builds a w×h mesh for n nodes (any positive count). w is
+// the smallest power of two whose square covers n — identical to the
+// historical power-of-two-only geometry for those counts.
 func NewMesh2D(n int, cfg Config) *Mesh2D {
-	if n <= 0 || n&(n-1) != 0 {
-		panic("network: node count must be a positive power of two")
+	if n <= 0 {
+		panic("network: node count must be positive")
 	}
 	w := 1
 	for w*w < n {
 		w *= 2
 	}
-	h := n / w
-	if w*h != n {
-		// n is an odd power of two: w = sqrt(2n)/... adjust to w ≥ h.
-		w *= 2
-		h = n / w
-	}
-	if h == 0 {
-		w, h = n, 1
-	}
+	h := (n + w - 1) / w
 	return &Mesh2D{cfg: cfg, n: n, w: w, h: h, busy: make(map[linkKey]uint64)}
 }
 
@@ -93,6 +93,14 @@ func (m *Mesh2D) Send(now uint64, src, dst int, payloadBytes int) uint64 {
 	}
 	cx, cy := m.coord(cur)
 	dx, dy := m.coord(dst)
+	// Leaving a partial last row: correct Y first (the source's row may
+	// not reach dx, but the column above the source is fully populated).
+	if dy != cy && (cy+1)*m.w > m.n {
+		for cy != dy {
+			step(cur - m.w)
+			_, cy = m.coord(cur)
+		}
+	}
 	for cx != dx {
 		if cx < dx {
 			step(cur + 1)

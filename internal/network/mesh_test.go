@@ -6,7 +6,12 @@ import (
 )
 
 func TestMeshFactorization(t *testing.T) {
-	want := map[int][2]int{1: {1, 1}, 2: {2, 1}, 4: {2, 2}, 8: {4, 2}, 16: {4, 4}, 32: {8, 4}, 64: {8, 8}}
+	// Power-of-two geometries are pinned to the historical factorization;
+	// other counts get the same w with a (possibly partial) last row.
+	want := map[int][2]int{
+		1: {1, 1}, 2: {2, 1}, 4: {2, 2}, 8: {4, 2}, 16: {4, 4}, 32: {8, 4}, 64: {8, 8},
+		3: {2, 2}, 5: {4, 2}, 12: {4, 3},
+	}
 	for n, wh := range want {
 		m := NewMesh2D(n, DefaultConfig())
 		if m.Width() != wh[0] || m.Height() != wh[1] {
@@ -19,7 +24,7 @@ func TestMeshFactorization(t *testing.T) {
 }
 
 func TestMeshInvalidSizePanics(t *testing.T) {
-	for _, n := range []int{0, 3, 12, -2} {
+	for _, n := range []int{0, -2} {
 		func() {
 			defer func() {
 				if recover() == nil {
@@ -28,6 +33,36 @@ func TestMeshInvalidSizePanics(t *testing.T) {
 			}()
 			NewMesh2D(n, DefaultConfig())
 		}()
+	}
+}
+
+// TestMeshPartialLastRowRoutes drives every node pair of a 5-node mesh
+// (4×2 grid, last row one node) through Send: XY routing must stay on
+// populated nodes, so no index panics, and latency must be at least the
+// uncontended bound.
+func TestMeshPartialLastRowRoutes(t *testing.T) {
+	m := NewMesh2D(5, DefaultConfig())
+	for src := 0; src < 5; src++ {
+		for dst := 0; dst < 5; dst++ {
+			got := m.Send(1000, src, dst, 40)
+			if src == dst {
+				if got != 1000 {
+					t.Errorf("Send(%d,%d) self = %d", src, dst, got)
+				}
+				continue
+			}
+			if min := 1000 + m.UncontendedLatency(src, dst, 40); got < min {
+				t.Errorf("Send(%d,%d) = %d, below uncontended %d", src, dst, got, min)
+			}
+		}
+	}
+	// Every link ever occupied must join two populated nodes — a key
+	// touching node ≥ n means routing wandered into the phantom part of
+	// the grid (e.g. x-correcting inside the partial last row).
+	for key := range m.busy {
+		if key.from >= m.n || key.to >= m.n {
+			t.Errorf("routing used phantom link %d→%d (n=%d)", key.from, key.to, m.n)
+		}
 	}
 }
 
