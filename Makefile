@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check bench bench-json bench-smoke golden golden-update tuning-smoke shard-smoke ci
+.PHONY: build test vet fmt fmt-check bench bench-json bench-smoke golden golden-update tuning-smoke shard-smoke coherence-race ci
 
 build:
 	$(GO) build ./...
@@ -87,4 +87,10 @@ shard-smoke:
 	diff "$$tmp/unsharded.md" "$$tmp/merged.md" && \
 	echo "shard-smoke: merged report byte-identical"
 
-ci: build fmt-check vet test bench bench-smoke golden tuning-smoke shard-smoke
+# The protocol seam's dedicated gate: both coherence backends (the
+# conformance suite included) and the machine layer that selects
+# between them, under the race detector.
+coherence-race:
+	$(GO) test -race ./internal/coherence/... ./internal/machine/...
+
+ci: build fmt-check vet test coherence-race bench bench-smoke golden tuning-smoke shard-smoke

@@ -4,6 +4,7 @@
 //	dsmsim -config                 # print Table I (simulated architecture)
 //	dsmsim -list                   # print Table II (applications and inputs)
 //	dsmsim -app lu -procs 8 -size small
+//	dsmsim -app pagethrash -protocol ivy  # page-granular coherence backend
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 		sizeArg  = flag.String("size", "small", "input scale: test, small or full")
 		interval = flag.Uint64("interval", 0, "per-processor sampling interval (0 = paper's 3M/procs)")
 		seed     = flag.Uint64("seed", 1, "workload seed")
+		protocol = flag.String("protocol", "directory", "coherence backend: directory or ivy")
 		config   = flag.Bool("config", false, "print the simulated architecture (Table I) and exit")
 		list     = flag.Bool("list", false, "print the applications (Table II) and exit")
 		traceOut = flag.String("trace-out", "", "write interval signatures as JSONL to this file")
@@ -58,12 +60,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	proto, err := dsmphase.ParseProtocolKind(*protocol)
+	if err != nil {
+		fatal(err)
+	}
 	rc := dsmphase.RunConfig{
 		Workload:             *app,
 		Size:                 size,
 		Procs:                *procsN,
 		IntervalInstructions: *interval,
 		Seed:                 *seed,
+		Protocol:             proto,
 	}
 	if *topology != "hypercube" {
 		kind := network.Kind(*topology)
@@ -90,6 +97,10 @@ func main() {
 	fmt.Fprintf(w, "directory trips (remote)\t%d (%d)\n", ps.DirectoryTrips, ps.RemoteTrips)
 	fmt.Fprintf(w, "invalidations / forwards\t%d / %d\n", ps.Invalidations, ps.Forwards)
 	fmt.Fprintf(w, "writebacks\t%d\n", ps.Writebacks)
+	if proto == dsmphase.ProtocolIVY {
+		fmt.Fprintf(w, "page faults / transfers\t%d / %d\n", ps.PageFaults, ps.PageTransfers)
+		fmt.Fprintf(w, "page invalidations\t%d\n", ps.PageInvalidations)
+	}
 
 	ns := m.Network().Stats()
 	fmt.Fprintf(w, "network messages / bytes\t%d / %d\n", ns.Messages, ns.Bytes)

@@ -87,7 +87,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		sizeArg    = fs.String("size", "small", "input scale: test, small or full")
-		apps       = fs.String("apps", "", "comma-separated workloads, or a panel alias: paper, extended")
+		apps       = fs.String("apps", "", "comma-separated workloads, or a panel alias: paper, extended, adversarial")
+		protocols  = fs.String("protocol", "", "comma-separated coherence backends to sweep: directory, ivy (default directory)")
 		interval   = fs.Uint64("interval", 0, "total sampling interval (0 = 300k reduced default)")
 		seed       = fs.Uint64("seed", 1, "workload base seed")
 		replicates = fs.Int("replicates", 1, "seeds per configuration (>1 adds 95% CI columns)")
@@ -139,12 +140,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	}
+	kinds, err := parseProtocols(*protocols)
+	if err != nil {
+		return err
+	}
 	base := []dsmphase.SpecOption{
 		dsmphase.WithApps(splitList(*apps)...),
 		dsmphase.WithSize(size),
 		dsmphase.WithInterval(*interval),
 		dsmphase.WithSeed(*seed),
 		dsmphase.WithReplicates(*replicates),
+		dsmphase.WithProtocols(kinds...),
 	}
 	grids := gridSet(base, *ablation, *tuningFlag)
 
@@ -384,6 +390,17 @@ func reportSkipped(w io.Writer, results []dsmphase.CellResult) {
 	}
 }
 
+// appCell labels a configuration's application column, tagging the
+// coherence backend when it is not the default so a -protocol sweep's
+// rows (and its per-app claim sequences) stay distinct; default-protocol
+// reports render exactly as before.
+func appCell(c dsmphase.Configuration) string {
+	if c.Protocol != dsmphase.ProtocolDirectory {
+		return c.App + "/" + c.Protocol.String()
+	}
+	return c.App
+}
+
 // bandAt is one configuration's CoV@25 point: the across-replicate mean
 // and the 95% CI half-width (zero at one replicate).
 type bandAt struct {
@@ -420,16 +437,17 @@ func reportFigure2(w io.Writer, rep *dsmphase.Report) {
 		}
 		c10 := c.Band.MeanAt(10)
 		c25, half25 := c.Band.At(25)
+		app := appCell(c.Config)
 		if ci {
 			fmt.Fprintf(w, "| %s | %d | %s | %s | %s |\n",
-				c.Config.App, c.Config.Procs, fmtCov(c10), fmtCov(c25), fmtCov(half25))
+				app, c.Config.Procs, fmtCov(c10), fmtCov(c25), fmtCov(half25))
 		} else {
-			fmt.Fprintf(w, "| %s | %d | %s | %s |\n", c.Config.App, c.Config.Procs, fmtCov(c10), fmtCov(c25))
+			fmt.Fprintf(w, "| %s | %d | %s | %s |\n", app, c.Config.Procs, fmtCov(c10), fmtCov(c25))
 		}
-		if _, seen := covs[c.Config.App]; !seen {
-			appOrder = append(appOrder, c.Config.App)
+		if _, seen := covs[app]; !seen {
+			appOrder = append(appOrder, app)
 		}
-		covs[c.Config.App] = append(covs[c.Config.App], bandAt{mean: c25, half: half25})
+		covs[app] = append(covs[app], bandAt{mean: c25, half: half25})
 	}
 	fmt.Fprintln(w)
 	reportSkipped(w, rep.CellResults())
@@ -489,7 +507,7 @@ func reportFigure4(w io.Writer, rep *dsmphase.Report) {
 		if len(c.Curves) == 0 {
 			continue
 		}
-		k := key{c.Config.App, c.Config.Procs}
+		k := key{appCell(c.Config), c.Config.Procs}
 		if c.Config.Detector == dsmphase.DetectorBBV {
 			bbv[k] = c
 			order = append(order, k)
@@ -565,6 +583,20 @@ func check(ok bool) string {
 		return "✓"
 	}
 	return "✗"
+}
+
+// parseProtocols parses the -protocol flag's comma list; empty keeps
+// the directory default (an empty sweep axis).
+func parseProtocols(s string) ([]dsmphase.ProtocolKind, error) {
+	var kinds []dsmphase.ProtocolKind
+	for _, name := range splitList(s) {
+		k, err := dsmphase.ParseProtocolKind(name)
+		if err != nil {
+			return nil, err
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
 }
 
 func splitList(s string) []string {

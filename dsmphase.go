@@ -9,7 +9,8 @@
 //     the code signature with a data distribution scalar (DDS) computed
 //     from a frequency matrix, a distance matrix and a contention vector;
 //   - a simulated DSM multiprocessor (out-of-order cores, two-level
-//     caches, directory MSI coherence, hypercube wormhole network,
+//     caches, pluggable coherence — directory MSI by default, IVY-style
+//     page coherence as the alternative — hypercube wormhole network,
 //     interleaved SDRAM — the paper's Table I system);
 //   - four synthetic workloads standing in for SPLASH-2 LU and FMM and
 //     SPEC-OMP Art and Equake (Table II), plus the experiment harness
@@ -40,6 +41,7 @@ import (
 	"io"
 	"time"
 
+	"dsmphase/internal/coherence"
 	"dsmphase/internal/core"
 	"dsmphase/internal/harness"
 	"dsmphase/internal/machine"
@@ -146,6 +148,38 @@ type Summary = machine.Summary
 
 // DefaultMachineConfig returns the Table I system for a node count.
 func DefaultMachineConfig(procs int) MachineConfig { return machine.DefaultConfig(procs) }
+
+// ---- Coherence protocols ----
+//
+// The machine's coherence engine is pluggable behind the
+// coherence.Protocol seam: the line-granular directory-MSI engine
+// (the Table I default) and an IVY-style page-granular DSM backend.
+// Select a backend per simulation via RunConfig.Protocol or
+// MachineConfig.Protocol, or sweep the axis with WithProtocols.
+//
+// Deprecated surface: the old positional constructor
+// coherence.New(n, l1, l2, mem, net, costs, home) survives as a
+// wrapper over the directory backend; new code should fill a
+// coherence.Params and call coherence.NewDirectory or
+// coherence.NewIVY (internal packages — from the facade, use the
+// ProtocolKind axis instead of constructing engines directly).
+
+// ProtocolKind selects a coherence backend; the zero value is the
+// directory engine, so existing configurations are unchanged.
+type ProtocolKind = coherence.Kind
+
+// Protocol kinds: the paper's line-granular directory MSI and the
+// IVY-style page-granular alternative.
+const (
+	ProtocolDirectory = coherence.KindDirectory
+	ProtocolIVY       = coherence.KindIVY
+)
+
+// ParseProtocolKind converts "directory" or "ivy" to a ProtocolKind.
+func ParseProtocolKind(name string) (ProtocolKind, error) { return coherence.ParseKind(name) }
+
+// ProtocolKinds returns every registered coherence backend.
+func ProtocolKinds() []ProtocolKind { return coherence.Kinds() }
 
 // RunConfig describes one simulation (workload, size, node count).
 type RunConfig = harness.RunConfig
@@ -272,6 +306,10 @@ func WithSeed(seed uint64) SpecOption { return harness.WithSeed(seed) }
 // mean ± 95% CI bands.
 func WithReplicates(n int) SpecOption { return harness.WithReplicates(n) }
 
+// WithProtocols sweeps the grid over coherence backends; empty keeps
+// the directory default.
+func WithProtocols(kinds ...ProtocolKind) SpecOption { return harness.WithProtocols(kinds...) }
+
 // WithTweak appends a named, cache-keyed machine variant (one ablation
 // grid row).
 func WithTweak(name, key string, tweak func(*MachineConfig)) SpecOption {
@@ -302,7 +340,8 @@ func NewEncoder(name, title string) (Encoder, error) { return harness.NewEncoder
 // EncoderNames returns the registered encoder names.
 func EncoderNames() []string { return harness.EncoderNames() }
 
-// AppsPanel returns a named application panel ("paper", "extended").
+// AppsPanel returns a named application panel ("paper", "extended",
+// "adversarial").
 func AppsPanel(name string) ([]string, bool) { return harness.AppsPanel(name) }
 
 // ResolveApps expands a panel alias; empty resolves to the paper panel.

@@ -1,9 +1,14 @@
-// Package coherence implements the DSM's directory-based MSI cache
-// coherence: each memory line has a home node whose directory tracks the
-// line's global state (uncached / shared / modified), its sharer set and
-// its owner. The Protocol type executes full load/store transactions
-// against per-processor two-level caches, charging network, directory
-// and SDRAM latency through the models in internal/{network,memory}.
+// Package coherence implements the DSM's coherence backends behind the
+// Protocol interface. The default DirectoryProtocol is line-granular
+// directory-based MSI: each memory line has a home node whose directory
+// tracks the line's global state (uncached / shared / modified), its
+// sharer set and its owner, and full load/store transactions execute
+// against per-processor two-level caches. The IVY backend is
+// page-granular software DSM in the style of Li & Hudak's IVY:
+// read-only/read-write page copies, faults resolved by each page's
+// manager node, and whole-page transfers. Both charge network,
+// directory/manager and SDRAM latency through the models in
+// internal/{network,memory}.
 package coherence
 
 // LineState is the directory-side state of a memory line.
@@ -46,8 +51,8 @@ type Directory struct {
 	lines map[uint64]Entry
 }
 
-// NewDirectory returns an empty directory.
-func NewDirectory() *Directory {
+// NewDirectoryTable returns an empty directory.
+func NewDirectoryTable() *Directory {
 	return &Directory{lines: make(map[uint64]Entry)}
 }
 

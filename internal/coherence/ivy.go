@@ -1,0 +1,383 @@
+package coherence
+
+import (
+	"math/bits"
+
+	"dsmphase/internal/memory"
+	"dsmphase/internal/network"
+)
+
+// pageAccess is a node's access right to a resident page.
+type pageAccess uint8
+
+const (
+	// pageReadOnly: the node holds a read-only copy.
+	pageReadOnly pageAccess = iota + 1
+	// pageReadWrite: the node is the owner with exclusive write access.
+	pageReadWrite
+)
+
+// ivyEntry is a manager row for one page: which nodes hold a copy and
+// which of them owns the latest data. Owner is -1 while the page has
+// never been faulted in (its only copy is the home node's memory).
+type ivyEntry struct {
+	Copyset uint64
+	Owner   int8
+}
+
+// IVY is the page-granular DSM backend in the style of Li & Hudak's
+// IVY: each node holds read-only or read-write page copies, access
+// faults are resolved by the page's manager, and pages move as whole
+// units over the interconnect.
+//
+// The manager for a page is its home node under Params.Home — the
+// "fixed distributed manager" refinement of IVY's central manager (a
+// HomeMap with shift ≥ 64 maps every page to node 0, recovering the
+// strictly central variant). The manager tracks the owner and copyset;
+// read faults are forwarded to the owner, which downgrades to
+// read-only and supplies the page; write faults invalidate every other
+// copy and transfer ownership. Backing memory lives at the home node
+// and is read only for a page's first fault — after that the owner's
+// copy is authoritative.
+//
+// IVY models no hardware caches: an access to a resident page with
+// sufficient rights completes at the L1 hit latency (the model's
+// "local memory is fast, faults are slow" regime). Whole-page
+// transfers are priced honestly: the source's SDRAM banks serve every
+// line of the page, and the interconnect carries PageBytes-sized
+// messages through the same contention model as line transfers.
+type IVY struct {
+	n     int
+	costs Costs
+	mems  []*memory.SDRAM
+	net   network.Topology
+	home  HomeMap
+	pageB uint64
+	// pageShift converts byte addresses to page addresses.
+	pageShift uint
+	// lineB is the SDRAM transfer granularity used to price page reads.
+	lineB uint64
+	// linesPerPage is pageB/lineB, the bank occupancy of one page copy.
+	linesPerPage int
+	// hit is the resident-page access latency (Params.L1.HitCycles).
+	hit uint64
+	// tables[node] maps resident page -> access right.
+	tables []map[uint64]pageAccess
+	// dir maps page -> manager entry. Manager state is keyed globally;
+	// the page's home node only matters for latency charging.
+	dir map[uint64]ivyEntry
+	st  Stats
+}
+
+// NewIVY assembles an IVY engine. Params.Home maps a page address to
+// its home (= manager) node in [0, N); Params.PageBytes must be a
+// power of two (zero selects DefaultPageBytes).
+func NewIVY(params Params) *IVY {
+	params.validate()
+	pageB := params.PageBytes
+	if pageB == 0 {
+		pageB = DefaultPageBytes
+	}
+	if pageB&(pageB-1) != 0 {
+		panic("coherence: IVY page size must be a power of two")
+	}
+	lineB := params.Mem.LineBytes
+	if pageB < lineB {
+		panic("coherence: IVY page must be at least one memory line")
+	}
+	n := params.N
+	p := &IVY{
+		n:            n,
+		costs:        params.Costs,
+		mems:         make([]*memory.SDRAM, n),
+		net:          params.Net,
+		home:         params.Home,
+		pageB:        uint64(pageB),
+		pageShift:    uint(bits.TrailingZeros64(uint64(pageB))),
+		lineB:        uint64(lineB),
+		linesPerPage: pageB / lineB,
+		hit:          params.L1.HitCycles,
+		tables:       make([]map[uint64]pageAccess, n),
+		dir:          make(map[uint64]ivyEntry),
+	}
+	for i := 0; i < n; i++ {
+		p.mems[i] = memory.New(params.Mem)
+	}
+	return p
+}
+
+// Kind identifies the backend.
+func (p *IVY) Kind() Kind { return KindIVY }
+
+// N returns the processor count.
+func (p *IVY) N() int { return p.n }
+
+// Home returns the home (manager) node of the page containing addr.
+func (p *IVY) Home(addr uint64) int { return p.home.Home(addr >> p.pageShift) }
+
+// LineBytes returns the coherence granularity — the page size.
+func (p *IVY) LineBytes() uint64 { return p.pageB }
+
+// PageBytes returns the page size.
+func (p *IVY) PageBytes() uint64 { return p.pageB }
+
+// Memory exposes node i's SDRAM (tests and statistics).
+func (p *IVY) Memory(i int) *memory.SDRAM { return p.mems[i] }
+
+// Stats returns a copy of the protocol statistics.
+func (p *IVY) Stats() Stats { return p.st }
+
+// ResetStats zeroes the counters; page tables, manager and timing state
+// are preserved.
+func (p *IVY) ResetStats() { p.st = Stats{} }
+
+// entry returns the manager row for a page (unowned if never faulted).
+func (p *IVY) entry(page uint64) ivyEntry {
+	if e, ok := p.dir[page]; ok {
+		return e
+	}
+	return ivyEntry{Owner: -1}
+}
+
+// pageMsgBytes is the size of a whole-page data message (page plus the
+// control header every message carries).
+func (p *IVY) pageMsgBytes() int { return int(p.pageB) + p.costs.CtrlBytes }
+
+// Access executes a load (write=false) or store (write=true) by proc at
+// byte address addr starting at time now.
+func (p *IVY) Access(now uint64, proc int, addr uint64, write bool) AccessResult {
+	if write {
+		p.st.Stores++
+	} else {
+		p.st.Loads++
+	}
+	page := addr >> p.pageShift
+	acc := p.tables[proc][page]
+	if acc == pageReadWrite || (acc == pageReadOnly && !write) {
+		// Resident with sufficient rights: local access.
+		p.st.L1Hits++
+		return AccessResult{Done: now + p.hit, HitLevel: 1}
+	}
+	t := now + p.hit // fault detection
+	p.st.PageFaults++
+	switch {
+	case acc == pageReadOnly:
+		// Write to a read-only copy: upgrade in place.
+		return p.upgradeFault(t, proc, page)
+	case write:
+		return p.writeFault(t, proc, page)
+	default:
+		return p.readFault(t, proc, page)
+	}
+}
+
+// managerTrip charges the fault's trip to the page manager and the
+// manager's lookup time.
+func (p *IVY) managerTrip(t uint64, proc, mgr int, res *AccessResult) uint64 {
+	p.st.DirectoryTrips++
+	if mgr != proc {
+		p.st.RemoteTrips++
+		res.Remote = true
+		t = p.net.Send(t, proc, mgr, p.costs.CtrlBytes)
+	}
+	return t + p.costs.DirectoryCycles
+}
+
+// readPage prices a whole-page read out of node's SDRAM: every line of
+// the page occupies its bank, and the data is ready when the last line
+// is.
+func (p *IVY) readPage(t uint64, node int, page uint64) uint64 {
+	base := page << p.pageShift
+	done := t
+	for i := 0; i < p.linesPerPage; i++ {
+		if d := p.mems[node].Read(t, base+uint64(i)*p.lineB); d > done {
+			done = d
+		}
+	}
+	return done
+}
+
+// readFault installs a read-only copy at proc.
+func (p *IVY) readFault(t uint64, proc int, page uint64) AccessResult {
+	var res AccessResult
+	mgr := p.home.Home(page)
+	t = p.managerTrip(t, proc, mgr, &res)
+	e := p.entry(page)
+	if e.Owner < 0 {
+		// First fault: home memory supplies the page, requester becomes
+		// the owner (holding it read-only until someone writes).
+		res.MemoryAccess = true
+		t = p.readPage(t, mgr, page)
+		if mgr != proc {
+			t = p.net.Send(t, mgr, proc, p.pageMsgBytes())
+			res.Remote = true
+		}
+		e.Owner = int8(proc)
+	} else {
+		// Forward to the owner, which downgrades to read-only and
+		// supplies the page (the owner cannot be proc: owners always
+		// hold their page, so they never fault).
+		o := int(e.Owner)
+		p.st.Forwards++
+		if o != mgr {
+			t = p.net.Send(t, mgr, o, p.costs.CtrlBytes)
+		}
+		p.tables[o][page] = pageReadOnly
+		t = p.net.Send(t, o, proc, p.pageMsgBytes())
+		res.Remote = true
+	}
+	p.st.PageTransfers++
+	e.Copyset |= 1 << uint(proc)
+	p.dir[page] = e
+	p.install(proc, page, pageReadOnly)
+	res.Done = t
+	return res
+}
+
+// upgradeFault handles a write to a page proc already holds read-only:
+// every other copy is invalidated and ownership transfers without a
+// page copy — the analogue of the directory backend's upgrade, and like
+// it, no memory or page data moves.
+func (p *IVY) upgradeFault(t uint64, proc int, page uint64) AccessResult {
+	var res AccessResult
+	// The page data is already resident — only the access right changes —
+	// so, exactly like the directory upgrade, this classifies as a hit.
+	res.HitLevel = 1
+	mgr := p.home.Home(page)
+	t = p.managerTrip(t, proc, mgr, &res)
+	e := p.entry(page)
+	t = p.invalidateCopies(t, mgr, proc, page, &e, &res)
+	if mgr != proc {
+		// Grant message back to the requester.
+		t = p.net.Send(t, mgr, proc, p.costs.CtrlBytes)
+	}
+	e.Owner = int8(proc)
+	p.dir[page] = e
+	p.tables[proc][page] = pageReadWrite
+	res.Done = t
+	return res
+}
+
+// writeFault installs a read-write copy at a proc holding nothing:
+// every existing copy is invalidated, the page moves from its owner
+// (or, on a first fault, home memory), and ownership transfers.
+func (p *IVY) writeFault(t uint64, proc int, page uint64) AccessResult {
+	var res AccessResult
+	mgr := p.home.Home(page)
+	t = p.managerTrip(t, proc, mgr, &res)
+	e := p.entry(page)
+	if e.Owner < 0 {
+		res.MemoryAccess = true
+		t = p.readPage(t, mgr, page)
+		if mgr != proc {
+			t = p.net.Send(t, mgr, proc, p.pageMsgBytes())
+			res.Remote = true
+		}
+	} else {
+		// The previous owner supplies the page and gives it up; the
+		// manager invalidates the remaining readers in parallel, and the
+		// requester waits for the slower of data and acks.
+		o := int(e.Owner)
+		p.st.Forwards++
+		data := t
+		if o != mgr {
+			data = p.net.Send(data, mgr, o, p.costs.CtrlBytes)
+		}
+		delete(p.tables[o], page)
+		e.Copyset &^= 1 << uint(o)
+		p.st.PageInvalidations++
+		res.Invalidations++
+		data = p.net.Send(data, o, proc, p.pageMsgBytes())
+		res.Remote = true
+		acks := p.invalidateCopies(t, mgr, proc, page, &e, &res)
+		t = data
+		if acks > t {
+			t = acks
+		}
+	}
+	p.st.PageTransfers++
+	e.Owner = int8(proc)
+	e.Copyset = 1 << uint(proc)
+	p.dir[page] = e
+	p.install(proc, page, pageReadWrite)
+	res.Done = t
+	return res
+}
+
+// install records a resident page at proc, allocating the node's table
+// lazily.
+func (p *IVY) install(proc int, page uint64, acc pageAccess) {
+	if p.tables[proc] == nil {
+		p.tables[proc] = make(map[uint64]pageAccess)
+	}
+	p.tables[proc][page] = acc
+}
+
+// invalidateCopies sends invalidations from the manager to every
+// copyset member except requester, drops their copies, and returns the
+// time the last acknowledgment reaches the manager. The entry's copyset
+// shrinks to the requester's bit (if held).
+func (p *IVY) invalidateCopies(t uint64, mgr, requester int, page uint64, e *ivyEntry, res *AccessResult) uint64 {
+	latest := t
+	for s := 0; s < p.n; s++ {
+		if s == requester || e.Copyset&(1<<uint(s)) == 0 {
+			continue
+		}
+		p.st.PageInvalidations++
+		res.Invalidations++
+		arr := p.net.Send(t, mgr, s, p.costs.CtrlBytes)
+		delete(p.tables[s], page)
+		ack := p.net.Send(arr, s, mgr, p.costs.CtrlBytes)
+		if ack > latest {
+			latest = ack
+		}
+	}
+	e.Copyset &= 1 << uint(requester)
+	return latest
+}
+
+// CheckInvariants validates IVY's global safety property — single
+// writer, multiple readers over pages — plus manager/table consistency.
+// Intended for tests.
+func (p *IVY) CheckInvariants() error {
+	for page, e := range p.dir {
+		if e.Owner < 0 || int(e.Owner) >= p.n {
+			return errf("page %#x: invalid owner %d", page, e.Owner)
+		}
+		if e.Copyset&(1<<uint(e.Owner)) == 0 {
+			return errf("page %#x: owner %d outside copyset %#x", page, e.Owner, e.Copyset)
+		}
+		ownerAcc := p.tables[e.Owner][page]
+		if ownerAcc == 0 {
+			return errf("page %#x: owner %d holds no copy", page, e.Owner)
+		}
+		for q := 0; q < p.n; q++ {
+			acc := pageAccess(0)
+			if p.tables[q] != nil {
+				acc = p.tables[q][page]
+			}
+			inSet := e.Copyset&(1<<uint(q)) != 0
+			if (acc != 0) != inSet {
+				return errf("page %#x: node %d residency %v disagrees with copyset %#x",
+					page, q, acc != 0, e.Copyset)
+			}
+			if acc == pageReadWrite {
+				if q != int(e.Owner) {
+					return errf("page %#x: writer %d is not the owner %d", page, q, e.Owner)
+				}
+				if e.Copyset != 1<<uint(q) {
+					return errf("page %#x: writable at %d with other copies %#x", page, q, e.Copyset)
+				}
+			}
+		}
+	}
+	// No node may hold a page the manager has no row for.
+	for q := 0; q < p.n; q++ {
+		for page := range p.tables[q] {
+			if _, ok := p.dir[page]; !ok {
+				return errf("page %#x: resident at %d but unknown to its manager", page, q)
+			}
+		}
+	}
+	return nil
+}

@@ -11,7 +11,7 @@ import (
 
 // testProtocol builds a small n-proc system with tiny caches so
 // evictions happen quickly, and address>>20 selecting the home node.
-func testProtocol(n int) *Protocol {
+func testProtocol(n int) *DirectoryProtocol {
 	l1 := cache.Config{SizeBytes: 256, Ways: 1, LineBytes: 32, HitCycles: 1}
 	l2 := cache.Config{SizeBytes: 1024, Ways: 2, LineBytes: 32, HitCycles: 12}
 	net := network.New(n, network.DefaultConfig())
@@ -32,7 +32,7 @@ func TestLineStateString(t *testing.T) {
 }
 
 func TestDirectoryBasics(t *testing.T) {
-	d := NewDirectory()
+	d := NewDirectoryTable()
 	if d.Lookup(5).State != Uncached {
 		t.Error("absent line must be Uncached")
 	}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 
+	"dsmphase/internal/coherence"
 	"dsmphase/internal/stats"
 )
 
@@ -105,8 +106,25 @@ type CSVEncoder struct{}
 // Name implements Encoder.
 func (CSVEncoder) Name() string { return "csv" }
 
-// Encode implements Encoder.
+// Encode implements Encoder. The protocol column appears only when the
+// report sweeps a non-default coherence backend, so default-protocol
+// reports keep the pre-seam header byte for byte.
 func (CSVEncoder) Encode(w io.Writer, r *Report) error {
+	if reportSweepsProtocol(r) {
+		if _, err := fmt.Fprintln(w, "variant,app,procs,detector,protocol,phases,cov_mean,cov_lo95,cov_hi95,n"); err != nil {
+			return err
+		}
+		for _, c := range r.Configs {
+			for _, p := range c.Band.Points {
+				if _, err := fmt.Fprintf(w, "%s,%s,%d,%s,%s,%s,%s,%s,%s,%d\n",
+					variantName(c.Config.Variant), c.Config.App, c.Config.Procs, c.Config.Detector,
+					c.Config.Protocol, ftoa(p.Phases), ftoa(p.Mean), ftoa(p.Lo), ftoa(p.Hi), p.N); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
 	if _, err := fmt.Fprintln(w, "variant,app,procs,detector,phases,cov_mean,cov_lo95,cov_hi95,n"); err != nil {
 		return err
 	}
@@ -120,6 +138,17 @@ func (CSVEncoder) Encode(w io.Writer, r *Report) error {
 		}
 	}
 	return nil
+}
+
+// reportSweepsProtocol reports whether any configuration of the report
+// runs a non-default coherence backend.
+func reportSweepsProtocol(r *Report) bool {
+	for _, c := range r.Configs {
+		if c.Config.Protocol != coherence.KindDirectory {
+			return true
+		}
+	}
+	return false
 }
 
 // JSONEncoder renders the whole report as one document, including
@@ -143,6 +172,7 @@ type jsonConfig struct {
 	App      string          `json:"app"`
 	Procs    int             `json:"procs"`
 	Detector string          `json:"detector"`
+	Protocol string          `json:"protocol,omitempty"`
 	Curves   int             `json:"curves"`
 	Errors   []string        `json:"errors,omitempty"`
 	Band     []jsonBandPoint `json:"band"`
@@ -183,6 +213,9 @@ func (JSONEncoder) Encode(w io.Writer, r *Report) error {
 			Detector: c.Config.Detector.String(),
 			Curves:   len(c.Curves),
 			Band:     make([]jsonBandPoint, 0, len(c.Band.Points)),
+		}
+		if c.Config.Protocol != coherence.KindDirectory {
+			jc.Protocol = c.Config.Protocol.String()
 		}
 		for _, res := range c.Results {
 			if res.Err != nil {
@@ -247,14 +280,14 @@ func (e MarkdownEncoder) Encode(w io.Writer, r *Report) error {
 	baseline := map[point]float64{}
 	for _, c := range r.Configs {
 		if variantName(c.Config.Variant) == "baseline" {
-			baseline[point{c.Config.App, c.Config.Procs, c.Config.Detector.String()}] = c.Band.MeanAt(25)
+			baseline[point{c.Config.App, c.Config.Procs, detectorCell(c.Config)}] = c.Band.MeanAt(25)
 		}
 	}
 	for _, c := range r.Configs {
 		name := variantName(c.Config.Variant)
 		c25 := c.Band.MeanAt(25)
 		delta := "—"
-		if base, ok := baseline[point{c.Config.App, c.Config.Procs, c.Config.Detector.String()}]; ok {
+		if base, ok := baseline[point{c.Config.App, c.Config.Procs, detectorCell(c.Config)}]; ok {
 			switch {
 			case name == "baseline":
 				// The reference row itself.
@@ -265,13 +298,23 @@ func (e MarkdownEncoder) Encode(w io.Writer, r *Report) error {
 			}
 		}
 		if _, err := fmt.Fprintf(w, "| %s | %s | %d | %s | %s | %s | %s | %s |\n",
-			name, c.Config.App, c.Config.Procs, c.Config.Detector,
+			name, c.Config.App, c.Config.Procs, detectorCell(c.Config),
 			covCell(c.Band.MeanAt(10)), covCell(c25), covCell(c.Band.HalfAt(25)), delta); err != nil {
 			return err
 		}
 	}
 	_, err := fmt.Fprintln(w)
 	return err
+}
+
+// detectorCell renders a configuration's detector column, suffixing the
+// coherence backend when it is not the default directory engine (so
+// directory-only scorecards keep the pre-seam cells).
+func detectorCell(c Configuration) string {
+	if c.Protocol != coherence.KindDirectory {
+		return c.Detector.String() + "/" + c.Protocol.String()
+	}
+	return c.Detector.String()
 }
 
 // variantName returns a variant's report name; the zero variant reads

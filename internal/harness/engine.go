@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"dsmphase/internal/coherence"
 	"dsmphase/internal/core"
 	"dsmphase/internal/machine"
 	"dsmphase/internal/rng"
@@ -39,8 +40,12 @@ type Cell struct {
 	TweakKey string
 }
 
-// Label returns the cell's display label ("lu 8P BBV+DDV").
+// Label returns the cell's display label ("lu 8P BBV+DDV"; a
+// non-default coherence protocol appears after the processor count).
 func (c Cell) Label() string {
+	if c.Run.Protocol != 0 {
+		return fmt.Sprintf("%s %dP %s %s", c.Run.Workload, c.Run.Procs, c.Run.Protocol, c.Kind)
+	}
 	return fmt.Sprintf("%s %dP %s", c.Run.Workload, c.Run.Procs, c.Kind)
 }
 
@@ -51,6 +56,7 @@ type simKey struct {
 	procs    int
 	interval uint64
 	seed     uint64
+	protocol coherence.Kind
 	tweak    string
 }
 
@@ -63,6 +69,7 @@ func (c Cell) simKeyAt(idx int) simKey {
 		procs:    c.Run.Procs,
 		interval: c.Run.IntervalInstructions,
 		seed:     c.Run.Seed,
+		protocol: c.Run.Protocol,
 		tweak:    c.TweakKey,
 	}
 	if c.Run.Tweak != nil && c.TweakKey == "" {

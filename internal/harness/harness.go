@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"io"
 
+	"dsmphase/internal/coherence"
 	"dsmphase/internal/core"
 	"dsmphase/internal/machine"
 	"dsmphase/internal/stats"
@@ -59,8 +60,12 @@ type RunConfig struct {
 	IntervalInstructions uint64
 	// Seed drives workload pseudo-randomness.
 	Seed uint64
+	// Protocol selects the coherence backend (the zero value is the
+	// directory engine, preserving pre-seam behavior).
+	Protocol coherence.Kind
 	// Tweak, if non-nil, may adjust the machine configuration before the
-	// run (used by ablation benchmarks).
+	// run (used by ablation benchmarks). It runs after Protocol is
+	// applied, so a tweak can still override the backend.
 	Tweak func(*machine.Config)
 }
 
@@ -75,6 +80,7 @@ func Simulate(rc RunConfig) (*machine.Machine, machine.Summary, error) {
 	if rc.IntervalInstructions > 0 {
 		cfg.IntervalInstructions = rc.IntervalInstructions
 	}
+	cfg.Protocol = rc.Protocol
 	if rc.Tweak != nil {
 		rc.Tweak(&cfg)
 	}

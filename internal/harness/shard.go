@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"dsmphase/internal/coherence"
 	"dsmphase/internal/core"
 	"dsmphase/internal/machine"
 	"dsmphase/internal/rng"
@@ -50,14 +51,20 @@ func hashString(h uint64, s string) uint64 {
 	return rng.Hash64(h ^ uint64(len(s)))
 }
 
-// hashKey folds a cell's simulation identity into a Hash64 chain.
+// hashKey folds a cell's simulation identity into a Hash64 chain. The
+// protocol folds in only when non-default, so every pre-seam plan keeps
+// its fingerprint (and shard assignment) byte for byte.
 func hashKey(h uint64, k simKey) uint64 {
 	h = hashString(h, k.workload)
 	h = rng.Hash64(h ^ uint64(k.size))
 	h = rng.Hash64(h ^ uint64(k.procs))
 	h = rng.Hash64(h ^ k.interval)
 	h = rng.Hash64(h ^ k.seed)
-	return hashString(h, k.tweak)
+	h = hashString(h, k.tweak)
+	if k.protocol != coherence.KindDirectory {
+		h = hashString(h, k.protocol.String())
+	}
+	return h
 }
 
 // shardOf assigns a simulation identity to one of `of` shards.
@@ -241,6 +248,10 @@ type ShardCell struct {
 	Seed     uint64 `json:"seed"`
 	Detector string `json:"detector"`
 	TweakKey string `json:"tweak_key,omitempty"`
+	// Protocol names the coherence backend when it is not the default
+	// directory engine; absent means directory (pre-seam artifacts stay
+	// readable, and default-protocol artifacts stay byte-identical).
+	Protocol string `json:"protocol,omitempty"`
 	// WallNS is the cell's wall-clock time in nanoseconds — the only
 	// nondeterministic field of the artifact.
 	WallNS int64 `json:"wall_ns"`
@@ -365,6 +376,9 @@ func newShardCell(r CellResult) ShardCell {
 		TweakKey: r.Cell.TweakKey,
 		WallNS:   r.Wall.Nanoseconds(),
 	}
+	if r.Cell.Run.Protocol != coherence.KindDirectory {
+		sc.Protocol = r.Cell.Run.Protocol.String()
+	}
 	if r.Err != nil {
 		sc.Err = r.Err.Error()
 		return sc
@@ -411,6 +425,12 @@ func (c ShardCell) CellResult() (CellResult, error) {
 	if err != nil {
 		return CellResult{}, fmt.Errorf("harness: cell %d: %w", c.Index, err)
 	}
+	proto := coherence.KindDirectory
+	if c.Protocol != "" {
+		if proto, err = coherence.ParseKind(c.Protocol); err != nil {
+			return CellResult{}, fmt.Errorf("harness: cell %d: %w", c.Index, err)
+		}
+	}
 	res := CellResult{
 		Index: c.Index,
 		Cell: Cell{
@@ -420,6 +440,7 @@ func (c ShardCell) CellResult() (CellResult, error) {
 				Procs:                c.Procs,
 				IntervalInstructions: c.Interval,
 				Seed:                 c.Seed,
+				Protocol:             proto,
 			},
 			Kind:     kind,
 			TweakKey: c.TweakKey,

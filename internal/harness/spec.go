@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"dsmphase/internal/coherence"
 	"dsmphase/internal/core"
 	"dsmphase/internal/machine"
 	"dsmphase/internal/predictor"
@@ -34,19 +35,25 @@ type Variant struct {
 }
 
 // Configuration identifies one aggregated cell of a Spec's grid: every
-// replicate of a (variant, app, procs, detector) point folds into one
-// Configuration's band.
+// replicate of a (variant, app, procs, protocol, detector) point folds
+// into one Configuration's band.
 type Configuration struct {
 	Variant  Variant
 	App      string
 	Procs    int
+	Protocol coherence.Kind
 	Detector core.DetectorKind
 }
 
 // Label returns the configuration's display label
-// ("lu 8P BBV+DDV [2x-contention]"; the baseline omits the bracket).
+// ("lu 8P BBV+DDV [2x-contention]"; the baseline omits the bracket,
+// and the default directory protocol omits its marker, so single-
+// protocol grids keep their historical labels).
 func (c Configuration) Label() string {
 	l := fmt.Sprintf("%s %dP %s", c.App, c.Procs, c.Detector)
+	if c.Protocol != coherence.KindDirectory {
+		l += " " + c.Protocol.String()
+	}
 	if c.Variant.Name != "" && c.Variant.Name != "baseline" {
 		l += " [" + c.Variant.Name + "]"
 	}
@@ -60,6 +67,7 @@ type Spec struct {
 	apps       []string
 	procs      []int
 	kinds      []core.DetectorKind
+	protocols  []coherence.Kind
 	size       workloads.Size
 	interval   uint64
 	seed       uint64
@@ -122,6 +130,14 @@ func WithProcs(procs ...int) Option {
 // replicate) point shares one machine run through the record cache.
 func WithDetectors(kinds ...core.DetectorKind) Option {
 	return func(s *Spec) { s.kinds = kinds }
+}
+
+// WithProtocols selects the coherence backends swept as a grid
+// dimension. Each protocol is a distinct simulation (unlike detectors,
+// which sweep a shared run). Empty keeps the default directory-only
+// axis, which reproduces pre-seam grids byte for byte.
+func WithProtocols(kinds ...coherence.Kind) Option {
+	return func(s *Spec) { s.protocols = kinds }
 }
 
 // WithSize selects the workload input scale.
@@ -239,17 +255,32 @@ func (s *Spec) Seed() uint64 { return s.seed }
 // Apps returns the resolved application list.
 func (s *Spec) Apps() []string { return ResolveApps(s.apps) }
 
+// Protocols returns the resolved coherence-backend axis (the directory
+// backend when none were selected).
+func (s *Spec) Protocols() []coherence.Kind {
+	if len(s.protocols) == 0 {
+		return []coherence.Kind{coherence.KindDirectory}
+	}
+	return append([]coherence.Kind(nil), s.protocols...)
+}
+
 // Configurations enumerates the grid's aggregated cells in report
-// order: variant-major, then application, processor count, detector —
-// the same order the legacy figures used, so a one-replicate,
-// baseline-only Spec reproduces their output exactly.
+// order: variant-major, then application, processor count, protocol,
+// detector — the same order the legacy figures used (the protocol axis
+// is degenerate by default), so a one-replicate, baseline-only Spec
+// reproduces their output exactly. Protocol sits outside the detector
+// axis so detector sweeps still share each protocol's simulation.
 func (s *Spec) Configurations() []Configuration {
 	var out []Configuration
 	for _, v := range s.variants {
 		for _, app := range s.Apps() {
 			for _, procs := range s.procs {
-				for _, kind := range s.kinds {
-					out = append(out, Configuration{Variant: v, App: app, Procs: procs, Detector: kind})
+				for _, proto := range s.Protocols() {
+					for _, kind := range s.kinds {
+						out = append(out, Configuration{
+							Variant: v, App: app, Procs: procs, Protocol: proto, Detector: kind,
+						})
+					}
 				}
 			}
 		}
@@ -283,6 +314,7 @@ func (s *Spec) Plan() *Plan {
 					Procs:                cfg.Procs,
 					IntervalInstructions: perProcInterval(s.interval, cfg.Procs),
 					Seed:                 s.replicateSeed(cfg.App, cfg.Procs, r),
+					Protocol:             cfg.Protocol,
 					Tweak:                cfg.Variant.Tweak,
 				},
 				Kind:     cfg.Detector,
@@ -308,9 +340,13 @@ var panels = map[string][]string{
 	"paper": {"fmm", "lu", "equake", "art"},
 	// The paper panel plus the two spare SPLASH-2 kernels.
 	"extended": {"fmm", "lu", "equake", "art", "ocean", "radix"},
+	// Coherence-protocol stress kernels: pathological sharing patterns
+	// that separate the directory and IVY backends.
+	"adversarial": {"fsstencil", "pagethrash"},
 }
 
-// AppsPanel returns a named application panel ("paper", "extended").
+// AppsPanel returns a named application panel ("paper", "extended",
+// "adversarial").
 func AppsPanel(name string) ([]string, bool) {
 	p, ok := panels[name]
 	if !ok {

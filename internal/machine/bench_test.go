@@ -3,6 +3,7 @@ package machine
 import (
 	"testing"
 
+	"dsmphase/internal/coherence"
 	"dsmphase/internal/isa"
 )
 
@@ -28,8 +29,14 @@ func (t *stepThread) NextBatch(e *isa.Emitter) bool {
 // benchMachine builds a 1-proc machine over the endless thread — the
 // pure step path, no scheduling or network in the way.
 func benchMachine(interval uint64) *Machine {
+	return benchMachineProto(interval, coherence.KindDirectory)
+}
+
+// benchMachineProto is benchMachine with an explicit coherence backend.
+func benchMachineProto(interval uint64, proto coherence.Kind) *Machine {
 	cfg := DefaultConfig(1)
 	cfg.IntervalInstructions = interval
+	cfg.Protocol = proto
 	return New(cfg, []isa.Thread{&stepThread{}})
 }
 
@@ -37,9 +44,28 @@ func benchMachine(interval uint64) *Machine {
 // the innermost loop everything in ISSUE/ROADMAP scale arguments
 // multiplies by — including its share of interval ends. ReportAllocs
 // makes any per-instruction or per-interval allocation regression
-// visible as a non-zero allocs/op.
+// visible as a non-zero allocs/op. The directory backend keeps the
+// bare "BenchmarkStep" series name (BENCH_baseline.json tracks it);
+// the other backends run under BenchmarkStepProtocol as
+// protocol-suffixed sub-benchmarks (a b.Run here would demote the bare
+// series to an unreported parent).
 func BenchmarkStep(b *testing.B) {
-	m := benchMachine(10_000)
+	runStepBench(b, coherence.KindDirectory)
+}
+
+// BenchmarkStepProtocol is BenchmarkStep for every non-default
+// coherence backend.
+func BenchmarkStepProtocol(b *testing.B) {
+	for _, proto := range coherence.Kinds() {
+		if proto == coherence.KindDirectory {
+			continue
+		}
+		b.Run(proto.String(), func(b *testing.B) { runStepBench(b, proto) })
+	}
+}
+
+func runStepBench(b *testing.B, proto coherence.Kind) {
+	m := benchMachineProto(10_000, proto)
 	p := m.procs[0]
 	// Warm up: populate caches, directory map, first records/arena
 	// growth steps.

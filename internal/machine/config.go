@@ -55,6 +55,13 @@ type Config struct {
 	// Topology selects the interconnect (default: the paper's hypercube;
 	// network.KindMesh2D is the ablation alternative).
 	Topology network.Kind
+	// Protocol selects the coherence backend (default: the line-granular
+	// directory-MSI engine; coherence.KindIVY is the page-granular DSM
+	// alternative).
+	Protocol coherence.Kind
+	// PageBytes is the IVY page size; zero selects
+	// coherence.DefaultPageBytes. Ignored by the directory backend.
+	PageBytes int
 
 	// BarrierCycles is the release overhead charged when a barrier opens.
 	BarrierCycles float64

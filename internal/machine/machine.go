@@ -50,8 +50,14 @@ type Machine struct {
 	cfg   Config
 	procs []*proc
 	net   network.Topology
-	proto *coherence.Protocol
-	dist  *core.DistanceMatrix
+	proto coherence.Protocol
+	// home duplicates the protocol's byte-address→home mapping as a
+	// concrete, inlinable HomeMap: every backend homes an address at
+	// (addr >> HomeShift) % Procs regardless of its coherence granule,
+	// and the commit loop calls it once per memory access — an
+	// interface dispatch there costs measurable throughput.
+	home coherence.HomeMap
+	dist *core.DistanceMatrix
 
 	// scratch for interval-end DDS gathering (reused every interval so
 	// the endInterval path does not allocate)
@@ -92,18 +98,38 @@ func New(cfg Config, threads []isa.Thread) *Machine {
 		panic("machine: interval length must be positive")
 	}
 	net := network.NewTopology(cfg.Topology, cfg.Procs, cfg.Net)
-	// home(line) = (line·lineBytes >> HomeShift) % Procs, expressed as a
-	// precomputed shift-and-mod HomeMap (AddrAt's inverse).
-	lineShift := uint(bits.TrailingZeros(uint(cfg.L2.LineBytes)))
-	home := coherence.NewHomeMap(HomeShift-lineShift, cfg.Procs)
-	proto := coherence.New(cfg.Procs, cfg.L1, cfg.L2, cfg.Mem, net, cfg.Costs, home)
+	params := coherence.Params{
+		N: cfg.Procs, L1: cfg.L1, L2: cfg.L2, Mem: cfg.Mem,
+		Net: net, Costs: cfg.Costs,
+	}
+	var proto coherence.Protocol
+	switch cfg.Protocol {
+	case coherence.KindDirectory:
+		// home(line) = (line·lineBytes >> HomeShift) % Procs, expressed
+		// as a precomputed shift-and-mod HomeMap (AddrAt's inverse).
+		lineShift := uint(bits.TrailingZeros(uint(cfg.L2.LineBytes)))
+		params.Home = coherence.NewHomeMap(HomeShift-lineShift, cfg.Procs)
+		proto = coherence.NewDirectory(params)
+	case coherence.KindIVY:
+		pageB := cfg.PageBytes
+		if pageB == 0 {
+			pageB = coherence.DefaultPageBytes
+		}
+		pageShift := uint(bits.TrailingZeros(uint(pageB)))
+		params.PageBytes = pageB
+		params.Home = coherence.NewHomeMap(HomeShift-pageShift, cfg.Procs)
+		proto = coherence.NewIVY(params)
+	default:
+		panic("machine: unknown coherence protocol " + cfg.Protocol.String())
+	}
 	var dist *core.DistanceMatrix
 	if cfg.UniformDistance {
 		dist = core.UniformDistanceMatrix(cfg.Procs)
 	} else {
 		dist = core.NewDistanceMatrix(cfg.Procs, net.Hops)
 	}
-	m := &Machine{cfg: cfg, net: net, proto: proto, dist: dist}
+	m := &Machine{cfg: cfg, net: net, proto: proto,
+		home: coherence.NewHomeMap(HomeShift, cfg.Procs), dist: dist}
 	m.gatherVecs = make([][]uint64, cfg.Procs)
 	for i := range m.gatherVecs {
 		m.gatherVecs[i] = make([]uint64, cfg.Procs)
@@ -153,7 +179,7 @@ func (m *Machine) Config() Config { return m.cfg }
 func (m *Machine) Network() network.Topology { return m.net }
 
 // Protocol exposes the coherence engine (statistics, invariants).
-func (m *Machine) Protocol() *coherence.Protocol { return m.proto }
+func (m *Machine) Protocol() coherence.Protocol { return m.proto }
 
 // Distance exposes the distance matrix used for DDS computation.
 func (m *Machine) Distance() *core.DistanceMatrix { return m.dist }
@@ -333,7 +359,7 @@ func (m *Machine) step(p *proc) error {
 			stall = 0
 		}
 		cost = p.model.Cost(in, stall)
-		home := m.proto.Home(in.Addr)
+		home := m.home.Home(in.Addr)
 		p.freq.Access(home)
 		if home == p.id {
 			p.localAcc++

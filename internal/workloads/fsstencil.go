@@ -1,0 +1,159 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dsmphase/internal/isa"
+	"dsmphase/internal/machine"
+)
+
+// FSStencil is an adversarial microbenchmark (not a Table II
+// application): a stencil-style relaxation whose per-processor state
+// words are packed so that up to four processors' 8-byte accumulators
+// share one 32 B cache line homed at node 0. Every processor writes
+// ONLY its own word — there is no true data sharing — yet under the
+// line-granular directory protocol each write invalidates the other
+// occupants' copies, so the communicate phase degenerates into an
+// invalidation ping-pong (false sharing). The page-granular IVY backend
+// sees the same access stream but accounts it in page terms: its
+// line-level Invalidations counter stays untouched by construction,
+// which is exactly the metric contrast the protocol behavior tests pin.
+//
+// Phase structure: each iteration alternates a private compute phase
+// (loads/stores in the processor's own region) with a communicate phase
+// (update own shared word, read the line-mates' words), separated by
+// barriers — so detectors see two clearly distinct phases whose timing
+// gap is protocol-dependent.
+type FSStencil struct{}
+
+func init() { Register(FSStencil{}) }
+
+// Name implements Workload.
+func (FSStencil) Name() string { return "fsstencil" }
+
+// Description implements Workload.
+func (FSStencil) Description() string {
+	return "adversarial false-sharing stencil (distinct words, one cache line)"
+}
+
+type fsstencilParams struct {
+	Iters   int
+	Compute int // private inner ops per iteration
+	Updates int // shared-word updates per communicate phase
+}
+
+func (FSStencil) params(sz Size) fsstencilParams {
+	switch sz {
+	case SizeTest:
+		return fsstencilParams{Iters: 16, Compute: 512, Updates: 128}
+	case SizeSmall:
+		return fsstencilParams{Iters: 24, Compute: 512, Updates: 128}
+	default:
+		return fsstencilParams{Iters: 64, Compute: 1024, Updates: 256}
+	}
+}
+
+// InputSet implements Workload.
+func (w FSStencil) InputSet(sz Size) string {
+	p := w.params(sz)
+	return fmt.Sprintf("%d iterations, %d updates/line, 4 words per 32B line", p.Iters, p.Updates)
+}
+
+// FSStencil kernel kinds.
+const (
+	fsCompute = iota
+	fsCommunicate
+)
+
+const pcFSStencil = 0x7000_0000
+
+// fsWordsPerLine is how many 8-byte accumulators pack into one 32 B
+// line: the false-sharing factor.
+const fsWordsPerLine = 4
+
+type fsstencilRun struct {
+	n int
+	p fsstencilParams
+}
+
+// sharedWordAddr is processor tid's private 8-byte accumulator inside
+// the packed array at home node 0: line tid/4, word tid%4. Distinct
+// processors never touch the same word, only the same line.
+func (r *fsstencilRun) sharedWordAddr(tid int) uint64 {
+	line := uint64(tid / fsWordsPerLine)
+	word := uint64(tid % fsWordsPerLine)
+	return machine.AddrAt(0, line*32+word*8)
+}
+
+// privAddr is an address in tid's private region.
+func (r *fsstencilRun) privAddr(tid, i int) uint64 {
+	return machine.AddrAt(tid, 1<<24|uint64(i)*8)
+}
+
+// lineMates returns the processors packed into tid's line, excluding
+// tid itself.
+func (r *fsstencilRun) lineMates(tid int) []int {
+	base := tid / fsWordsPerLine * fsWordsPerLine
+	var out []int
+	for q := base; q < base+fsWordsPerLine && q < r.n; q++ {
+		if q != tid {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Threads implements Workload.
+func (w FSStencil) Threads(n int, sz Size, seed uint64) []isa.Thread {
+	p := w.params(sz)
+	run := &fsstencilRun{n: n, p: p}
+	out := make([]isa.Thread, n)
+	for tid := 0; tid < n; tid++ {
+		var items []item
+		for it := 0; it < p.Iters; it++ {
+			items = append(items, item{kind: fsCompute, a: tid, b: it})
+			items = append(items, item{kind: kindBarrier})
+			items = append(items, item{kind: fsCommunicate, a: tid})
+			items = append(items, item{kind: kindBarrier})
+		}
+		out[tid] = &scriptThread{items: items, emit: run.emit, barrierPC: pcFSStencil + 0xF00}
+	}
+	return out
+}
+
+func (r *fsstencilRun) emit(it item, e *isa.Emitter) {
+	switch it.kind {
+	case fsCompute:
+		r.emitCompute(e, it.a, it.b)
+	case fsCommunicate:
+		r.emitCommunicate(e, it.a)
+	default:
+		panic("fsstencil: unknown work item")
+	}
+}
+
+// emitCompute: private relaxation sweep — all traffic stays local.
+func (r *fsstencilRun) emitCompute(e *isa.Emitter, tid, iter int) {
+	const pc = pcFSStencil + 0x000
+	for i := 0; i < r.p.Compute; i++ {
+		e.Load(pc+0, r.privAddr(tid, (i+iter)%1024))
+		e.Int(pc+4, 2)
+		e.Store(pc+8, r.privAddr(tid, (i+iter)%1024))
+		e.LoopBranch(pc+12, i, r.p.Compute)
+	}
+}
+
+// emitCommunicate: hammer the processor's own word of the packed line,
+// then read the line-mates' words — the false-sharing hot loop.
+func (r *fsstencilRun) emitCommunicate(e *isa.Emitter, tid int) {
+	const pc = pcFSStencil + 0x100
+	mates := r.lineMates(tid)
+	for u := 0; u < r.p.Updates; u++ {
+		e.Store(pc+0, r.sharedWordAddr(tid))
+		e.Int(pc+4, 1)
+		for j, q := range mates {
+			e.Load(pc+8+uint32(j)*4, r.sharedWordAddr(q))
+		}
+		e.LoopBranch(pc+24, u, r.p.Updates)
+	}
+}

@@ -1,0 +1,136 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dsmphase/internal/isa"
+	"dsmphase/internal/machine"
+)
+
+// PageThrash is an adversarial microbenchmark (not a Table II
+// application): every processor repeatedly writes its OWN 32 B cache
+// line inside ONE shared 4 kB page homed at node 0. At line
+// granularity the accesses are disjoint — after the cold misses the
+// directory protocol holds each line modified at its writer and goes
+// quiet. At page granularity the same stream is a write ping-pong over
+// a single read-write page: the IVY backend bounces whole-page
+// ownership between processors on every round, so its PageFaults and
+// PageTransfers grow with iterations × processors while the directory
+// backend's Invalidations stay at zero. The mirror image of fsstencil.
+//
+// Phase structure: each iteration alternates a private compute phase
+// with a shared-page write phase, separated by barriers.
+type PageThrash struct{}
+
+func init() { Register(PageThrash{}) }
+
+// Name implements Workload.
+func (PageThrash) Name() string { return "pagethrash" }
+
+// Description implements Workload.
+func (PageThrash) Description() string {
+	return "adversarial page thrasher (distinct lines, one shared page)"
+}
+
+type pagethrashParams struct {
+	Iters   int
+	Compute int // private inner ops per iteration
+	Writes  int // writes to the shared page per iteration
+}
+
+func (PageThrash) params(sz Size) pagethrashParams {
+	switch sz {
+	case SizeTest:
+		return pagethrashParams{Iters: 16, Compute: 512, Writes: 64}
+	case SizeSmall:
+		return pagethrashParams{Iters: 24, Compute: 512, Writes: 64}
+	default:
+		return pagethrashParams{Iters: 64, Compute: 1024, Writes: 128}
+	}
+}
+
+// InputSet implements Workload.
+func (w PageThrash) InputSet(sz Size) string {
+	p := w.params(sz)
+	return fmt.Sprintf("%d iterations, %d writes/page, one 4kB page", p.Iters, p.Writes)
+}
+
+// PageThrash kernel kinds.
+const (
+	ptCompute = iota
+	ptShared
+)
+
+const pcPageThrash = 0x7100_0000
+
+// ptPageBytes is the shared region size: one IVY page.
+const ptPageBytes = 4096
+
+type pagethrashRun struct {
+	n int
+	p pagethrashParams
+}
+
+// sharedLineAddr is processor tid's private 32 B line inside the one
+// shared page at home node 0. Lines wrap within the page for n > 128,
+// which only makes the workload more adversarial.
+func (r *pagethrashRun) sharedLineAddr(tid int) uint64 {
+	return machine.AddrAt(0, uint64(tid)*32%ptPageBytes)
+}
+
+// privAddr is an address in tid's private region.
+func (r *pagethrashRun) privAddr(tid, i int) uint64 {
+	return machine.AddrAt(tid, 1<<24|uint64(i)*8)
+}
+
+// Threads implements Workload.
+func (w PageThrash) Threads(n int, sz Size, seed uint64) []isa.Thread {
+	p := w.params(sz)
+	run := &pagethrashRun{n: n, p: p}
+	out := make([]isa.Thread, n)
+	for tid := 0; tid < n; tid++ {
+		var items []item
+		for it := 0; it < p.Iters; it++ {
+			items = append(items, item{kind: ptCompute, a: tid, b: it})
+			items = append(items, item{kind: kindBarrier})
+			items = append(items, item{kind: ptShared, a: tid})
+			items = append(items, item{kind: kindBarrier})
+		}
+		out[tid] = &scriptThread{items: items, emit: run.emit, barrierPC: pcPageThrash + 0xF00}
+	}
+	return out
+}
+
+func (r *pagethrashRun) emit(it item, e *isa.Emitter) {
+	switch it.kind {
+	case ptCompute:
+		r.emitCompute(e, it.a, it.b)
+	case ptShared:
+		r.emitShared(e, it.a)
+	default:
+		panic("pagethrash: unknown work item")
+	}
+}
+
+// emitCompute: private sweep — all traffic stays local.
+func (r *pagethrashRun) emitCompute(e *isa.Emitter, tid, iter int) {
+	const pc = pcPageThrash + 0x000
+	for i := 0; i < r.p.Compute; i++ {
+		e.Load(pc+0, r.privAddr(tid, (i+iter)%1024))
+		e.Int(pc+4, 2)
+		e.Store(pc+8, r.privAddr(tid, (i+iter)%1024))
+		e.LoopBranch(pc+12, i, r.p.Compute)
+	}
+}
+
+// emitShared: hammer the processor's own line of the one shared page —
+// disjoint at line granularity, a write ping-pong at page granularity.
+func (r *pagethrashRun) emitShared(e *isa.Emitter, tid int) {
+	const pc = pcPageThrash + 0x100
+	for u := 0; u < r.p.Writes; u++ {
+		e.Load(pc+0, r.sharedLineAddr(tid))
+		e.Int(pc+4, 1)
+		e.Store(pc+8, r.sharedLineAddr(tid))
+		e.LoopBranch(pc+12, u, r.p.Writes)
+	}
+}
