@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check bench bench-json bench-smoke golden golden-update tuning-smoke shard-smoke coherence-race ci
+.PHONY: build test vet fmt fmt-check bench bench-json bench-smoke bench-check golden golden-update tuning-smoke shard-smoke service-smoke coherence-race ci
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,39 @@ bench-smoke:
 	$(GO) run ./cmd/benchjson -label smoke -out /dev/null < "$$tmp" && \
 	echo "bench-smoke: benchmarks run and parse"
 
+# The perf regression gate: re-measure the Table I benchmarks and fail
+# on a >10% Minstr/s drop against the committed baseline's "current"
+# run. Runs from a different CPU than the baseline's are incomparable,
+# so the check downgrades itself to a warning there (see benchjson
+# -check) — the gate bites on the machines that refreshed the baseline
+# and stays quiet elsewhere.
+bench-check:
+	@tmp=$$(mktemp) && trap 'rm -f "$$tmp" "$$tmp.json"' EXIT && \
+	$(GO) test -bench 'BenchmarkTableI' -benchtime 1s -run '^$$' . > "$$tmp" && \
+	$(GO) run ./cmd/benchjson -label current -out "$$tmp.json" < "$$tmp" && \
+	$(GO) run ./cmd/benchjson -check BENCH_baseline.json "$$tmp.json"
+
+# End-to-end smoke of the coordinator service: start dsmphased on a
+# free port with two local workers, submit the figure2 test grid
+# through the real client (`experiments -submit`), and require the
+# served report to be byte-identical to the direct unsharded run —
+# twice, so the second pass also exercises the result cache.
+service-smoke:
+	@set -e; tmp=$$(mktemp -d); server_pid=""; \
+	trap 'if [ -n "$$server_pid" ]; then kill $$server_pid 2>/dev/null || true; fi; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/experiments" ./cmd/experiments; \
+	$(GO) build -o "$$tmp/dsmphased" ./cmd/dsmphased; \
+	"$$tmp/dsmphased" -listen 127.0.0.1:0 -addr-file "$$tmp/addr" -data "$$tmp/data" -experiments "$$tmp/experiments" 2>"$$tmp/server.log" & server_pid=$$!; \
+	i=0; while [ ! -f "$$tmp/addr" ] && [ $$i -lt 100 ]; do sleep 0.1; i=$$((i+1)); done; \
+	[ -f "$$tmp/addr" ] || { echo "service-smoke: server did not start" >&2; cat "$$tmp/server.log" >&2; exit 1; }; \
+	flags="-size test -interval 40000 -apps lu -grids figure2"; \
+	"$$tmp/experiments" $$flags > "$$tmp/direct.md"; \
+	"$$tmp/experiments" $$flags -submit "http://$$(cat "$$tmp/addr")" > "$$tmp/served.md"; \
+	diff "$$tmp/direct.md" "$$tmp/served.md"; \
+	"$$tmp/experiments" $$flags -submit "http://$$(cat "$$tmp/addr")" > "$$tmp/cached.md"; \
+	diff "$$tmp/direct.md" "$$tmp/cached.md"; \
+	echo "service-smoke: served and cached reports byte-identical to direct run"
+
 # The byte-identity gates: every Report and TuningReport encoder
 # against its golden file (the TestGolden pattern covers both
 # families, plus the shard artifact), the replicates=1 Spec output
@@ -93,4 +126,4 @@ shard-smoke:
 coherence-race:
 	$(GO) test -race ./internal/coherence/... ./internal/machine/...
 
-ci: build fmt-check vet test coherence-race bench bench-smoke golden tuning-smoke shard-smoke
+ci: build fmt-check vet test coherence-race bench bench-check golden tuning-smoke shard-smoke service-smoke

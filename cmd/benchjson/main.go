@@ -14,6 +14,14 @@
 //
 // Future PRs diff runs with benchstat or by eye; the artifact is plain
 // JSON with stable key order and no wall-clock fields of its own.
+//
+// -check turns the artifact into a regression gate: it compares the
+// same-labeled run of two artifacts metric-by-metric and fails when
+// the new run regresses past the tolerance (default: >10% on
+// Minstr/s). Runs from different CPUs are incomparable, so the check
+// warns and passes unless -check-cross-cpu forces it:
+//
+//	benchjson -check BENCH_baseline.json new.json
 package main
 
 import (
@@ -50,14 +58,134 @@ type Artifact struct {
 
 func main() {
 	var (
-		label = flag.String("label", "current", "label of the run to write (an existing run with the same label is replaced)")
-		out   = flag.String("out", "-", `artifact path to merge into ("-" = stdout, no merge)`)
+		label     = flag.String("label", "current", "label of the run to write (an existing run with the same label is replaced); with -check, label of the runs to compare")
+		out       = flag.String("out", "-", `artifact path to merge into ("-" = stdout, no merge)`)
+		checkFlag = flag.Bool("check", false, "regression gate: compare <old.json> <new.json> (the two positional arguments) instead of reading stdin")
+		metric    = flag.String("check-metric", "Minstr/s", "metric the -check gate compares")
+		tolerance = flag.Float64("check-tolerance", 0.10, "fractional regression the -check gate tolerates")
+		crossCPU  = flag.Bool("check-cross-cpu", false, "compare runs even when their CPU strings differ (default: warn and pass)")
 	)
 	flag.Parse()
+	if *checkFlag {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -check needs exactly two arguments: old.json new.json")
+			os.Exit(1)
+		}
+		if err := check(flag.Arg(0), flag.Arg(1), *label, *metric, *tolerance, *crossCPU, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdin, *label, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// readArtifact loads and version-checks one artifact file.
+func readArtifact(path string) (Artifact, error) {
+	var a Artifact
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return a, err
+	}
+	if err := json.Unmarshal(data, &a); err != nil {
+		return a, fmt.Errorf("%s: not a bench artifact: %w", path, err)
+	}
+	if a.Format != Format {
+		return a, fmt.Errorf("%s: format %q, want %q", path, a.Format, Format)
+	}
+	return a, nil
+}
+
+// findRun returns the labeled run of an artifact.
+func findRun(a Artifact, path, label string) (Run, error) {
+	for _, r := range a.Runs {
+		if r.Label == label {
+			return r, nil
+		}
+	}
+	return Run{}, fmt.Errorf("%s: no run labeled %q", path, label)
+}
+
+// lowerIsBetter reports the metric's direction: the per-op cost units
+// regress upward, throughput units regress downward.
+func lowerIsBetter(metric string) bool {
+	return strings.HasSuffix(metric, "/op")
+}
+
+// check is the regression gate: compare the same-labeled run of two
+// artifacts on one metric and fail on any shared benchmark that
+// regressed past the tolerance. Numbers from different CPUs are not
+// comparable — the committed baseline was measured on some developer's
+// machine, CI runs on another — so differing CPU strings downgrade the
+// gate to a warning unless crossCPU forces it.
+func check(oldPath, newPath, label, metric string, tolerance float64, crossCPU bool, w io.Writer) error {
+	oldArt, err := readArtifact(oldPath)
+	if err != nil {
+		return err
+	}
+	newArt, err := readArtifact(newPath)
+	if err != nil {
+		return err
+	}
+	oldRun, err := findRun(oldArt, oldPath, label)
+	if err != nil {
+		return err
+	}
+	newRun, err := findRun(newArt, newPath, label)
+	if err != nil {
+		return err
+	}
+	if oldRun.CPU != newRun.CPU && !crossCPU {
+		fmt.Fprintf(w, "check: SKIP — runs are from different CPUs (%q vs %q); numbers are not comparable (-check-cross-cpu overrides)\n",
+			oldRun.CPU, newRun.CPU)
+		return nil
+	}
+	names := make([]string, 0, len(oldRun.Benchmarks))
+	for name := range oldRun.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressions []string
+	compared := 0
+	for _, name := range names {
+		oldVal, ok := oldRun.Benchmarks[name][metric]
+		if !ok {
+			continue
+		}
+		newVal, ok := newRun.Benchmarks[name][metric]
+		if !ok {
+			fmt.Fprintf(w, "check: note — %s missing from the new run; skipping\n", name)
+			continue
+		}
+		compared++
+		var change float64 // fractional regression, positive = worse
+		if lowerIsBetter(metric) {
+			change = newVal/oldVal - 1
+		} else {
+			change = 1 - newVal/oldVal
+		}
+		status := "ok"
+		if change > tolerance {
+			status = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %s %.4g -> %.4g (%.1f%% worse, tolerance %.0f%%)",
+					name, metric, oldVal, newVal, 100*change, 100*tolerance))
+		}
+		fmt.Fprintf(w, "check: %-40s %s %10.4g -> %10.4g  %+6.1f%%  %s\n",
+			name, metric, oldVal, newVal, -100*change, status)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no shared benchmarks carry metric %q", metric)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed:\n  %s",
+			len(regressions), strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(w, "check: %d benchmark(s) within %.0f%% of %s\n", compared, 100*tolerance, oldPath)
+	return nil
 }
 
 func run(in io.Reader, label, out string) error {

@@ -97,3 +97,77 @@ func TestEmptyInputFails(t *testing.T) {
 		t.Fatal("want error on input without benchmark lines")
 	}
 }
+
+// writeCheckArtifact writes a one-run artifact for the -check tests.
+func writeCheckArtifact(t *testing.T, path, cpu string, minstr float64) {
+	t.Helper()
+	art := Artifact{Format: Format, Runs: []Run{{
+		Label: "current",
+		CPU:   cpu,
+		Benchmarks: map[string]map[string]float64{
+			"BenchmarkTableI_MachineThroughput/8P": {"Minstr/s": minstr, "ns/op": 1e6 / minstr},
+		},
+	}}}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckPassesWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	old, new := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	writeCheckArtifact(t, old, "cpu-a", 2.0)
+	writeCheckArtifact(t, new, "cpu-a", 1.85) // 7.5% down: inside 10%
+	var out strings.Builder
+	if err := check(old, new, "current", "Minstr/s", 0.10, false, &out); err != nil {
+		t.Fatalf("7.5%% regression failed the 10%% gate: %v\n%s", err, out.String())
+	}
+}
+
+func TestCheckFailsPastTolerance(t *testing.T) {
+	dir := t.TempDir()
+	old, new := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	writeCheckArtifact(t, old, "cpu-a", 2.0)
+	writeCheckArtifact(t, new, "cpu-a", 1.5) // 25% down
+	var out strings.Builder
+	err := check(old, new, "current", "Minstr/s", 0.10, false, &out)
+	if err == nil {
+		t.Fatalf("25%% regression passed the 10%% gate:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("error %q does not name the regression", err)
+	}
+}
+
+func TestCheckSkipsAcrossCPUs(t *testing.T) {
+	dir := t.TempDir()
+	old, new := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	writeCheckArtifact(t, old, "cpu-a", 2.0)
+	writeCheckArtifact(t, new, "cpu-b", 0.5) // would fail, but CPUs differ
+	var out strings.Builder
+	if err := check(old, new, "current", "Minstr/s", 0.10, false, &out); err != nil {
+		t.Fatalf("cross-CPU comparison was not skipped: %v", err)
+	}
+	if !strings.Contains(out.String(), "SKIP") {
+		t.Fatalf("no skip notice printed:\n%s", out.String())
+	}
+	// Forced, it fails.
+	if err := check(old, new, "current", "Minstr/s", 0.10, true, &out); err == nil {
+		t.Fatal("-check-cross-cpu did not enforce the gate")
+	}
+}
+
+func TestCheckLowerIsBetterMetric(t *testing.T) {
+	dir := t.TempDir()
+	old, new := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	writeCheckArtifact(t, old, "cpu-a", 2.0) // ns/op 5e5
+	writeCheckArtifact(t, new, "cpu-a", 1.5) // ns/op ~6.7e5: 33% up
+	var out strings.Builder
+	if err := check(old, new, "current", "ns/op", 0.10, false, &out); err == nil {
+		t.Fatal("ns/op increase passed a lower-is-better gate")
+	}
+}

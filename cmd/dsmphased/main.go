@@ -1,0 +1,138 @@
+// Command dsmphased is the experiment coordinator service: a
+// long-running HTTP/JSON server that takes a grid submission from Spec
+// parameters to a merged, cache-backed report.
+//
+// Jobs are POSTed as a named grid plus Spec parameters; the
+// coordinator fans the grid's shards out over a worker pool (each
+// worker execs cmd/experiments -shard with the -shard-dir handshake),
+// resumes crashed attempts from their per-cell JSONL streams,
+// re-dispatches stragglers, merges the completed shard set through the
+// same MergeShards/Assemble path the CLI uses — so a served report is
+// byte-identical to a direct run — and answers repeat submissions from
+// a fingerprint-keyed disk cache. See docs/SERVICE.md for the API.
+//
+//	dsmphased -listen 127.0.0.1:8356 -data /var/lib/dsmphased
+//	curl -d '{"grid":"figure2","size":"test"}' http://127.0.0.1:8356/v1/jobs
+//	curl 'http://127.0.0.1:8356/v1/jobs/job-1/report?format=markdown'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"dsmphase/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dsmphased:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dsmphased", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		listen    = fs.String("listen", "127.0.0.1:8356", "HTTP listen address (port 0 picks a free port)")
+		addrFile  = fs.String("addr-file", "", "write the bound address to this file once listening (for scripts using port 0)")
+		dataDir   = fs.String("data", "dsmphased-data", "state directory: result cache, job work dirs, ETA priors")
+		expBin    = fs.String("experiments", "", "path of the experiments worker binary (default: next to this binary, else $PATH)")
+		workers   = fs.String("workers", "local,local", `comma-separated worker pool: "local" or "ssh://[user@]host[/bin]"`)
+		shards    = fs.Int("shards", 0, "default shard fan-out per job (0 = pool size)")
+		parallel  = fs.Int("parallel", 0, "-parallel passed to each worker process (0 = worker default)")
+		straggler = fs.Duration("straggler-after", 10*time.Minute, "re-dispatch a shard attempt running longer than this to an idle worker")
+		cacheB    = fs.Int64("cache-bytes", service.DefaultCacheBytes, "result cache size bound in bytes")
+	)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return err
+	}
+	bin, err := findExperiments(*expBin)
+	if err != nil {
+		return err
+	}
+	coord, err := service.New(service.Config{
+		DataDir:        *dataDir,
+		ExperimentsBin: bin,
+		Workers:        splitList(*workers),
+		DefaultShards:  *shards,
+		CacheBytes:     *cacheB,
+		StragglerAfter: *straggler,
+		WorkerParallel: *parallel,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dsmphased: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dsmphased: listening on http://%s (worker binary %s)\n", ln.Addr(), bin)
+
+	srv := &http.Server{Handler: coord.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "dsmphased: %v, shutting down\n", s)
+		return srv.Close()
+	case err := <-errCh:
+		if err == http.ErrServerClosed {
+			return nil
+		}
+		return err
+	}
+}
+
+// findExperiments locates the worker binary: the -experiments flag, a
+// sibling of this binary, or $PATH.
+func findExperiments(flagVal string) (string, error) {
+	if flagVal != "" {
+		return flagVal, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		sibling := filepath.Join(filepath.Dir(self), "experiments")
+		if _, err := os.Stat(sibling); err == nil {
+			return sibling, nil
+		}
+	}
+	if p, err := exec.LookPath("experiments"); err == nil {
+		return p, nil
+	}
+	return "", fmt.Errorf("experiments worker binary not found (sibling or $PATH); pass -experiments")
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -19,11 +19,20 @@
 // paper-scale flags, and -eta-from seeds the -progress ETA from a
 // previous run's persisted per-cell timings.
 //
+// The binary is also the coordinator service's worker and client:
+// -shard-dir is the dsmphased worker handshake (the shard artifact and
+// its resumable .cells.jsonl durability stream land in the given
+// directory under canonical names), and -submit posts the selected
+// grids to a running dsmphased coordinator, waits, and renders the
+// identical report from the served artifacts. -grids overrides the
+// flag-derived grid set by name (see docs/SERVICE.md).
+//
 //	experiments -size small > report.md
 //	experiments -size small -parallel 8 -progress > report.md
 //	experiments -size small -replicates 5 -ablation > report.md
 //	experiments -preset paper -shard 0/4 -shard-out shard0.json   # per worker
 //	experiments -preset paper -merge shard*.json > report.md      # reassemble
+//	experiments -grids figure2 -submit http://127.0.0.1:8356 > report.md
 package main
 
 import (
@@ -32,13 +41,15 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"dsmphase"
-	"dsmphase/internal/network"
 	"dsmphase/internal/prof"
+	"dsmphase/internal/service"
 )
 
 func main() {
@@ -48,35 +59,40 @@ func main() {
 	}
 }
 
-// grid is one named experiment grid of the report — the unit the shard
-// artifact and the merge match across machines.
-type grid struct {
-	name   string
-	spec   *dsmphase.Spec
-	tuning bool
-}
-
-// gridSet declares the report's grids in render order. Every mode —
-// unsharded, -shard and -merge — derives the set from the same flags,
-// so a shard artifact's fingerprints line up with the merge side's.
-func gridSet(base []dsmphase.SpecOption, ablation, tuning bool) []grid {
-	grids := []grid{
-		{name: "figure2", spec: dsmphase.NewSpec(append(base,
-			dsmphase.WithProcs(2, 8, 32),
-			dsmphase.WithDetectors(dsmphase.DetectorBBV),
-		)...)},
-		{name: "figure4", spec: dsmphase.NewSpec(append(base,
-			dsmphase.WithProcs(8, 32),
-			dsmphase.WithDetectors(dsmphase.DetectorBBV, dsmphase.DetectorBBVDDV),
-		)...)},
-	}
+// gridSet declares the report's grids in render order, compiled from
+// the shared registry (harness.BuildGrid) so a shard artifact's
+// fingerprints line up with the merge side's — and with a dsmphased
+// coordinator's. An -grids override selects registry grids by name;
+// otherwise the classic flag-derived set (figure2, figure4, plus the
+// -ablation and -tuning opt-ins) applies.
+func gridSet(gp dsmphase.GridParams, ablation, tuning bool, override string) ([]dsmphase.NamedGrid, error) {
+	names := []string{"figure2", "figure4"}
 	if ablation {
-		grids = append(grids, grid{name: "ablation", spec: ablationSpec(base)})
+		names = append(names, "ablation")
 	}
 	if tuning {
-		grids = append(grids, grid{name: "tuning", spec: tuningSpec(base), tuning: true})
+		names = append(names, "tuning")
 	}
-	return grids
+	if override != "" {
+		names = splitList(override)
+	}
+	var grids []dsmphase.NamedGrid
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		g, err := dsmphase.BuildGrid(n, gp)
+		if err != nil {
+			return nil, err
+		}
+		grids = append(grids, g)
+	}
+	if len(grids) == 0 {
+		return nil, fmt.Errorf("-grids selected no grids")
+	}
+	return grids, nil
 }
 
 // run executes the whole report. The markdown lands on stdout; timing
@@ -98,11 +114,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		tuningFlag = fs.Bool("tuning", false, "append the adaptive-tuning win-rate scorecard (detector × predictor × controller)")
 		tuningFmt  = fs.String("tuning-format", "markdown", "tuning scorecard format: text, csv, json or markdown")
 		preset     = fs.String("preset", "", `flag preset: "paper" (size=full, interval=3000000, replicates=5); explicit flags override`)
+		gridsFlag  = fs.String("grids", "", "comma-separated named grids overriding the flag-derived set (figure2, figure4, ablation, tuning)")
 		shardArg   = fs.String("shard", "", `run only shard i of n ("i/n") and write a shard artifact instead of the report`)
 		shardOut   = fs.String("shard-out", "-", `shard artifact path ("-" = stdout)`)
+		shardDir   = fs.String("shard-dir", "", "write the shard artifact and its .cells.jsonl stream under canonical names in this directory (the dsmphased worker handshake)")
 		shardTrace = fs.Bool("shard-trace", false, "embed interval records (internal/trace JSONL) in the shard artifact")
 		mergeFlag  = fs.Bool("merge", false, "merge the shard artifacts given as arguments into the report")
+		submitURL  = fs.String("submit", "", "submit the selected grids to a dsmphased coordinator at this URL and render the served report")
 		etaFrom    = fs.String("eta-from", "", "seed the -progress ETA from a prior run's shard artifact timings")
+		abortOnce  = fs.String("shard-abort-once", "", "fault injection: exit(3) after one cell unless the given marker file exists ({shard} expands to the shard index); creates the marker, so a retry runs to completion")
 		cpuProf    = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf    = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -125,34 +145,41 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *shardArg != "" && *mergeFlag {
 		return fmt.Errorf("-shard and -merge are mutually exclusive")
 	}
+	if *submitURL != "" && (*shardArg != "" || *mergeFlag) {
+		return fmt.Errorf("-submit is mutually exclusive with -shard and -merge")
+	}
 
 	size, err := dsmphase.ParseSize(*sizeArg)
+	if err != nil {
+		return err
+	}
+	kinds, err := parseProtocols(*protocols)
+	if err != nil {
+		return err
+	}
+	grids, err := gridSet(dsmphase.GridParams{
+		Size:       size,
+		Apps:       splitList(*apps),
+		Protocols:  kinds,
+		Interval:   *interval,
+		Seed:       *seed,
+		Replicates: *replicates,
+	}, *ablation, *tuningFlag, *gridsFlag)
 	if err != nil {
 		return err
 	}
 	// Validate the tuning format before any simulation runs: a typo must
 	// fail in milliseconds, not after the figure grids finished.
 	var tuningEnc dsmphase.TuningEncoder
-	if *tuningFlag {
-		tuningEnc, err = dsmphase.NewTuningEncoder(*tuningFmt,
-			"Adaptive tuning — detector × predictor × controller")
-		if err != nil {
-			return err
+	for _, g := range grids {
+		if g.Tuning {
+			tuningEnc, err = dsmphase.NewTuningEncoder(*tuningFmt,
+				"Adaptive tuning — detector × predictor × controller")
+			if err != nil {
+				return err
+			}
 		}
 	}
-	kinds, err := parseProtocols(*protocols)
-	if err != nil {
-		return err
-	}
-	base := []dsmphase.SpecOption{
-		dsmphase.WithApps(splitList(*apps)...),
-		dsmphase.WithSize(size),
-		dsmphase.WithInterval(*interval),
-		dsmphase.WithSeed(*seed),
-		dsmphase.WithReplicates(*replicates),
-		dsmphase.WithProtocols(kinds...),
-	}
-	grids := gridSet(base, *ablation, *tuningFlag)
 
 	// The ETA prior: a previous run's persisted per-cell timings.
 	var etaPer time.Duration
@@ -175,7 +202,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	start := time.Now()
 
 	if *shardArg != "" {
-		if err := runShard(grids, *shardArg, *shardOut, *shardTrace, stdout, makeOpts); err != nil {
+		if err := runShard(grids, *shardArg, *shardOut, *shardDir, *shardTrace, *abortOnce, stdout, stderr, makeOpts); err != nil {
 			return err
 		}
 		fmt.Fprintf(stderr, "total runtime: %v (parallel=%d)\n",
@@ -183,31 +210,48 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
-	// Produce each grid's report: simulated here, or reassembled from
-	// shard artifacts. Both paths flow through the same aggregation, so
-	// the rendered bytes agree.
+	// Produce each grid's report: simulated here, reassembled from shard
+	// artifacts, or served by a dsmphased coordinator. All paths flow
+	// through the same aggregation, so the rendered bytes agree.
 	reports := map[string]*dsmphase.Report{}
 	var tuningRep *dsmphase.TuningReport
-	if *mergeFlag {
+	switch {
+	case *mergeFlag:
 		if reports, tuningRep, err = mergeGrids(grids, fs.Args(), stderr); err != nil {
 			return err
 		}
-	} else {
+	case *submitURL != "":
+		req := service.JobRequest{
+			Size:       *sizeArg,
+			Apps:       splitList(*apps),
+			Protocols:  splitList(*protocols),
+			Interval:   *interval,
+			Seed:       *seed,
+			Replicates: *replicates,
+		}
+		if reports, tuningRep, err = runSubmit(*submitURL, grids, req, stderr); err != nil {
+			return err
+		}
+	default:
 		for _, g := range grids {
-			if g.tuning {
-				if tuningRep, err = g.spec.RunTuning(makeOpts()); err != nil {
+			if g.Tuning {
+				if tuningRep, err = g.Spec.RunTuning(makeOpts()); err != nil {
 					return err
 				}
 			} else {
-				reports[g.name] = g.spec.Run(makeOpts())
+				reports[g.Name] = g.Spec.Run(makeOpts())
 			}
 		}
 	}
 
 	fmt.Fprintf(stdout, "# Experiment report (size=%s, seed=%d)\n\n", size, *seed)
 	fig2, fig4 := reports["figure2"], reports["figure4"]
-	reportFigure2(stdout, fig2)
-	reportFigure4(stdout, fig4)
+	if fig2 != nil {
+		reportFigure2(stdout, fig2)
+	}
+	if fig4 != nil {
+		reportFigure4(stdout, fig4)
+	}
 	reportOverhead(stdout)
 	if rep := reports["ablation"]; rep != nil {
 		if err := reportAblation(stdout, rep); err != nil {
@@ -226,7 +270,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// Per-cell isolation keeps a partial report useful, but a run where
 	// every cell failed produced no evaluation at all — exit non-zero so
 	// scripted consumers notice.
-	if len(fig2.Curves()) == 0 && len(fig4.Curves()) == 0 {
+	if fig2 != nil && fig4 != nil && len(fig2.Curves()) == 0 && len(fig4.Curves()) == 0 {
 		if err := fig2.FirstError(); err != nil {
 			return fmt.Errorf("every cell failed; first error: %w", err)
 		}
@@ -265,19 +309,66 @@ func applyPreset(fs *flag.FlagSet, name string, paper func()) error {
 
 // runShard executes every grid's assigned shard and writes one
 // multi-grid artifact to out ("-" = stdout; no report is rendered in
-// shard mode).
-func runShard(grids []grid, shardArg, out string, withTrace bool, stdout io.Writer, makeOpts func() dsmphase.EngineOptions) error {
+// shard mode). File outputs also stream every completed cell to a
+// `.cells.jsonl` sibling, and a re-run of the same shard resumes from
+// that stream: already-emitted cells are skipped and their serialized
+// results reused verbatim, so the resumed artifact matches an
+// uninterrupted run. -shard-dir derives the canonical output path
+// inside a work directory (the dsmphased worker handshake).
+func runShard(grids []dsmphase.NamedGrid, shardArg, out, dir string, withTrace bool, abortOnce string, stdout, stderr io.Writer, makeOpts func() dsmphase.EngineOptions) error {
 	shard, of, err := dsmphase.ParseShard(shardArg)
 	if err != nil {
 		return err
 	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		out = filepath.Join(dir, fmt.Sprintf("shard_%d_of_%d.json", shard, of))
+	}
+	var cs *dsmphase.CellStream
+	var prior map[string]*dsmphase.StreamedGrid
+	if out != "-" {
+		streamPath := dsmphase.CellStreamPath(out)
+		if prior, err = dsmphase.ReadCellStream(streamPath); err != nil {
+			return err
+		}
+		// Resume safety: every recovered section must match its grid's
+		// current plan exactly (fingerprint, shard coordinates, cell
+		// count). A stream from different flags is stale — drop it whole.
+		valid := true
+		for name, sg := range prior {
+			var g *dsmphase.NamedGrid
+			for i := range grids {
+				if grids[i].Name == name {
+					g = &grids[i]
+				}
+			}
+			if g == nil || !sg.Matches(name, g.Spec.Plan().Fingerprint(), shard, of, g.Spec.Plan().Len()) {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			fmt.Fprintf(stderr, "experiments: cell stream %s does not match this plan; restarting the shard\n", streamPath)
+			if err := os.Remove(streamPath); err != nil {
+				return err
+			}
+			prior = nil
+		}
+		if cs, err = dsmphase.OpenCellStream(streamPath); err != nil {
+			return err
+		}
+	}
+	abort := newAborter(abortOnce, shard, stderr)
 	art := &dsmphase.ShardArtifact{Format: dsmphase.ShardFormat, Shard: shard, Of: of}
+	resumed := 0
 	for _, g := range grids {
 		opts := makeOpts()
-		if g.tuning {
+		if g.Tuning {
 			// The tuning grid needs the online adaptive-loop hook so each
 			// cell's artifact entry carries the scorecard payload.
-			hook, err := g.spec.TuningHook()
+			hook, err := g.Spec.TuningHook()
 			if err != nil {
 				return err
 			}
@@ -286,17 +377,124 @@ func runShard(grids []grid, shardArg, out string, withTrace bool, stdout io.Writ
 		if withTrace {
 			opts.Hook = dsmphase.TraceHook(opts.Hook)
 		}
-		results := g.spec.RunShard(shard, of, opts)
-		sg, err := dsmphase.NewShardGrid(g.name, g.spec, results, g.tuning, withTrace)
+		var results []dsmphase.CellResult
+		if cs != nil {
+			var pcells []dsmphase.ShardCell
+			if sg := prior[g.Name]; sg != nil {
+				pcells = sg.Cells
+			}
+			inner := opts.Progress
+			opts.Progress = func(done, total int, r dsmphase.CellResult) {
+				if inner != nil {
+					inner(done, total, r)
+				}
+				abort.cellDone() // after the cell's stream line is durable
+			}
+			var n int
+			if results, n, err = g.Spec.RunShardStreamed(g.Name, shard, of, opts, cs, pcells); err != nil {
+				return err
+			}
+			resumed += n
+		} else {
+			results = g.Spec.RunShard(shard, of, opts)
+		}
+		sg, err := dsmphase.NewShardGrid(g.Name, g.Spec, results, g.Tuning, withTrace)
 		if err != nil {
 			return err
 		}
 		art.Grids = append(art.Grids, sg)
 	}
+	if cs != nil {
+		if err := cs.Close(); err != nil {
+			return err
+		}
+	}
+	if resumed > 0 {
+		fmt.Fprintf(stderr, "experiments: resumed %d cells from the shard's cell stream\n", resumed)
+	}
 	if out == "-" {
 		return dsmphase.WriteShardArtifact(stdout, art)
 	}
-	return dsmphase.WriteShardArtifactFile(out, art)
+	// Write-then-rename so a killed run never leaves a truncated
+	// artifact where a reader (the dsmphased retry validator) expects a
+	// complete one.
+	tmp := out + ".tmp"
+	if err := dsmphase.WriteShardArtifactFile(tmp, art); err != nil {
+		return err
+	}
+	return os.Rename(tmp, out)
+}
+
+// runSubmit is the service-client mode: one job per selected grid is
+// posted to a dsmphased coordinator, and the served artifacts are
+// reassembled through the same MergeShards/Assemble aggregation the
+// local paths use — so the rendered report is byte-identical to a
+// direct run of the same flags.
+func runSubmit(url string, grids []dsmphase.NamedGrid, req service.JobRequest, stderr io.Writer) (map[string]*dsmphase.Report, *dsmphase.TuningReport, error) {
+	client := &service.Client{BaseURL: url}
+	reports := map[string]*dsmphase.Report{}
+	var tuningRep *dsmphase.TuningReport
+	for _, g := range grids {
+		r := req
+		r.Grid = g.Name
+		st, err := client.Submit(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(stderr, "experiments: submitted %s as %s (%s)\n", g.Name, st.ID, st.State)
+		if st, err = client.Wait(st.ID, 0); err != nil {
+			return nil, nil, err
+		}
+		if st.Cached {
+			fmt.Fprintf(stderr, "experiments: %s served from the coordinator's result cache\n", st.ID)
+		}
+		art, err := client.Artifact(st.ID)
+		if err != nil {
+			return nil, nil, err
+		}
+		results, err := dsmphase.MergeShards(g.Spec, g.Name, []*dsmphase.ShardArtifact{art})
+		if err != nil {
+			return nil, nil, err
+		}
+		if g.Tuning {
+			if tuningRep, err = g.Spec.AssembleTuning(results); err != nil {
+				return nil, nil, err
+			}
+		} else {
+			reports[g.Name] = g.Spec.Assemble(results)
+		}
+	}
+	return reports, tuningRep, nil
+}
+
+// aborter is the -shard-abort-once fault injection: the first run to
+// claim the marker file exits the whole process (exit 3) right after
+// its first completed cell's stream line is durable; with the marker
+// already on disk, the run proceeds normally. Process-fatal by design
+// — only the service's worker-crash tests use it.
+type aborter struct {
+	armed  bool
+	stderr io.Writer
+}
+
+func newAborter(path string, shard int, stderr io.Writer) *aborter {
+	a := &aborter{stderr: stderr}
+	if path == "" {
+		return a
+	}
+	path = strings.ReplaceAll(path, "{shard}", strconv.Itoa(shard))
+	if f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644); err == nil {
+		f.Close()
+		a.armed = true
+	}
+	return a
+}
+
+func (a *aborter) cellDone() {
+	if a.armed {
+		fmt.Fprintln(a.stderr, "experiments: fault injection: aborting after one cell")
+		os.Exit(3)
+	}
 }
 
 // mergeGrids reads a complete shard-artifact set and reassembles every
@@ -305,7 +503,7 @@ func runShard(grids []grid, shardArg, out string, withTrace bool, stdout io.Writ
 // shards ran with -ablation, the merge without) is noted on stderr so
 // the data is not silently dropped; the reverse — a selected grid the
 // artifacts lack — is a hard error from MergeShards.
-func mergeGrids(grids []grid, files []string, stderr io.Writer) (map[string]*dsmphase.Report, *dsmphase.TuningReport, error) {
+func mergeGrids(grids []dsmphase.NamedGrid, files []string, stderr io.Writer) (map[string]*dsmphase.Report, *dsmphase.TuningReport, error) {
 	if len(files) == 0 {
 		return nil, nil, fmt.Errorf("-merge needs shard artifact files as arguments")
 	}
@@ -317,17 +515,17 @@ func mergeGrids(grids []grid, files []string, stderr io.Writer) (map[string]*dsm
 	var tuningRep *dsmphase.TuningReport
 	selected := map[string]bool{}
 	for _, g := range grids {
-		selected[g.name] = true
-		results, err := dsmphase.MergeShards(g.spec, g.name, arts)
+		selected[g.Name] = true
+		results, err := dsmphase.MergeShards(g.Spec, g.Name, arts)
 		if err != nil {
 			return nil, nil, err
 		}
-		if g.tuning {
-			if tuningRep, err = g.spec.AssembleTuning(results); err != nil {
+		if g.Tuning {
+			if tuningRep, err = g.Spec.AssembleTuning(results); err != nil {
 				return nil, nil, err
 			}
 		} else {
-			reports[g.name] = g.spec.Assemble(results)
+			reports[g.Name] = g.Spec.Assemble(results)
 		}
 	}
 	for _, ag := range arts[0].Grids {
@@ -336,24 +534,6 @@ func mergeGrids(grids []grid, files []string, stderr io.Writer) (map[string]*dsm
 		}
 	}
 	return reports, tuningRep, nil
-}
-
-// ablationSpec is the named DDS-design ablation grid: each variant
-// disables one ingredient of the data distribution scalar (the
-// contention vector, the hop-distance matrix) or swaps the network for
-// the 2D-mesh topology, all TweakKey-cached so every detector sweep of
-// a variant shares one simulation.
-func ablationSpec(base []dsmphase.SpecOption) *dsmphase.Spec {
-	return dsmphase.NewSpec(append(base,
-		dsmphase.WithProcs(8),
-		dsmphase.WithDetectors(dsmphase.DetectorBBVDDV),
-		dsmphase.WithTweak("no-contention", "dds-no-contention",
-			func(c *dsmphase.MachineConfig) { c.DDS.IgnoreContention = true }),
-		dsmphase.WithTweak("uniform-distance", "uniform-distance",
-			func(c *dsmphase.MachineConfig) { c.UniformDistance = true }),
-		dsmphase.WithTweak("mesh-2d", "mesh-2d",
-			func(c *dsmphase.MachineConfig) { c.Topology = network.KindMesh2D }),
-	)...)
 }
 
 // reportAblation appends the ablation grid's markdown scorecard.
@@ -367,17 +547,6 @@ func reportAblation(w io.Writer, rep *dsmphase.Report) error {
 	}
 	reportSkipped(w, rep.CellResults())
 	return nil
-}
-
-// tuningSpec is the adaptive-tuning grid: the detector × predictor ×
-// controller closed loop on live simulations (thresholds picked from
-// each cell's CoV curve within the phase budget, recorded intervals
-// classified into phase streams, one online AdaptiveLoop per
-// processor), rendered as a replicate-banded win-rate scorecard.
-func tuningSpec(base []dsmphase.SpecOption) *dsmphase.Spec {
-	return dsmphase.NewSpec(append(base,
-		dsmphase.WithDetectors(dsmphase.DetectorBBV, dsmphase.DetectorBBVDDV),
-	)...)
 }
 
 // reportSkipped lists failed cells; the engine isolates them so the

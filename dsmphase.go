@@ -634,3 +634,67 @@ func UnwrapExtra(extra any) any { return harness.UnwrapExtra(extra) }
 func SeededProgressPrinter(w io.Writer, perCell time.Duration, cells int) func(done, total int, r CellResult) {
 	return harness.SeededProgressPrinter(w, perCell, cells)
 }
+
+// ---- Structured progress events ----
+
+// ProgressEvent is one structured per-cell progress notification —
+// the shared source behind the CLI's stderr printer and the
+// coordinator service's SSE stream.
+type ProgressEvent = harness.ProgressEvent
+
+// EventSink consumes ProgressEvents.
+type EventSink = harness.EventSink
+
+// ProgressEvents adapts an EventSink into an EngineOptions.Progress
+// callback, with an optional seeded ETA prior.
+func ProgressEvents(sink EventSink, perCell time.Duration, cells int) func(done, total int, r CellResult) {
+	return harness.ProgressEvents(sink, perCell, cells)
+}
+
+// ---- Named experiment grids ----
+
+// GridParams are the wire-serializable Spec parameters every named
+// grid shares (see BuildGrid).
+type GridParams = harness.GridParams
+
+// NamedGrid is one registry entry: a grid name bound to its compiled
+// Spec.
+type NamedGrid = harness.NamedGrid
+
+// BuildGrid compiles a named experiment grid ("figure2", "figure4",
+// "ablation", "tuning") under the given parameters; the same (name,
+// params) pair yields the same plan fingerprint on every machine.
+func BuildGrid(name string, gp GridParams) (NamedGrid, error) { return harness.BuildGrid(name, gp) }
+
+// GridNames returns the registered grid names, sorted.
+func GridNames() []string { return harness.GridNames() }
+
+// ---- Per-cell shard streaming (durability + resume) ----
+
+// CellStreamFormat is the versioned format tag of a cell stream.
+const CellStreamFormat = harness.CellStreamFormat
+
+// CellStream appends completed cells to a `.cells.jsonl` stream file
+// as they finish, so a run that dies mid-shard resumes from its last
+// completed cell.
+type CellStream = harness.CellStream
+
+// CellStreamHeader identifies the plan a grid's streamed cells belong
+// to.
+type CellStreamHeader = harness.CellStreamHeader
+
+// StreamedGrid is one grid's recovered stream.
+type StreamedGrid = harness.StreamedGrid
+
+// CellStreamPath derives the stream sibling's path from an artifact
+// path.
+func CellStreamPath(artifact string) string { return harness.CellStreamPath(artifact) }
+
+// OpenCellStream opens (creating or appending) a stream file.
+func OpenCellStream(path string) (*CellStream, error) { return harness.OpenCellStream(path) }
+
+// ReadCellStream recovers a stream file's grids (tolerating a torn
+// tail).
+func ReadCellStream(path string) (map[string]*StreamedGrid, error) {
+	return harness.ReadCellStream(path)
+}

@@ -372,6 +372,61 @@ func (e *ETA) Observe(done, total int) (elapsed, remaining time.Duration) {
 	return elapsed, per * time.Duration(total-done)
 }
 
+// ProgressEvent is one structured progress notification: a completed
+// cell annotated with the run's ETA state. It is the single source both
+// progress consumers share — the CLI printer renders it as the
+// familiar "[done/total] label (cell 12ms, eta 3s)" stderr line, and
+// the coordinator service streams it to clients as a server-sent JSON
+// event — so the two surfaces can never drift apart.
+type ProgressEvent struct {
+	// Done counts completions (1..Total); Total is the plan's cell count.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+	// Label is the completed cell's display label ("lu 8P BBV").
+	Label string `json:"label,omitempty"`
+	// Err is the cell's error string; empty on success.
+	Err string `json:"error,omitempty"`
+	// Wall is the completed cell's wall-clock time.
+	Wall time.Duration `json:"wall_ns,omitempty"`
+	// Elapsed and Remaining are the run's ETA state at this completion
+	// (Remaining is the blended-prior estimate; see ETA).
+	Elapsed   time.Duration `json:"elapsed_ns,omitempty"`
+	Remaining time.Duration `json:"remaining_ns,omitempty"`
+}
+
+// String renders the event as the canonical one-line progress form.
+func (ev ProgressEvent) String() string {
+	return fmt.Sprintf("[%d/%d] %s (cell %v, eta %v)", ev.Done, ev.Total, ev.Label,
+		ev.Wall.Round(time.Millisecond), ev.Remaining.Round(100*time.Millisecond))
+}
+
+// EventSink consumes structured progress events. Sinks are called
+// serially in completion order (the engine serializes Progress).
+type EventSink func(ProgressEvent)
+
+// ProgressEvents adapts an EventSink into an Options.Progress callback,
+// annotating each completion with a fresh ETA clock seeded by the
+// (perCell, cells) prior — zeros clear the prior. Use one adapter per
+// Run so the estimator never mixes plans.
+func ProgressEvents(sink EventSink, perCell time.Duration, cells int) func(done, total int, r CellResult) {
+	eta := NewETA().Seed(perCell, cells)
+	return func(done, total int, r CellResult) {
+		elapsed, remaining := eta.Observe(done, total)
+		ev := ProgressEvent{
+			Done:      done,
+			Total:     total,
+			Label:     r.Cell.Label(),
+			Wall:      r.Wall,
+			Elapsed:   elapsed,
+			Remaining: remaining,
+		}
+		if r.Err != nil {
+			ev.Err = r.Err.Error()
+		}
+		sink(ev)
+	}
+}
+
 // ProgressPrinter returns an Options.Progress callback that prints one
 // "[done/total] label (cell 12ms, eta 3s)" line per completed cell to
 // w, with a fresh ETA clock. Use one printer per Run so the estimator
@@ -383,14 +438,11 @@ func ProgressPrinter(w io.Writer) func(done, total int, r CellResult) {
 // SeededProgressPrinter is ProgressPrinter with an ETA prior: perCell
 // and cells describe a previous run's persisted timings (see
 // ShardArtifact.MeanCellWall), so the first line already carries a
-// calibrated estimate. Zero arguments reduce to ProgressPrinter.
+// calibrated estimate. Zero arguments reduce to ProgressPrinter. It is
+// the printing consumer of ProgressEvents; services stream the same
+// events as JSON instead.
 func SeededProgressPrinter(w io.Writer, perCell time.Duration, cells int) func(done, total int, r CellResult) {
-	eta := NewETA().Seed(perCell, cells)
-	return func(done, total int, r CellResult) {
-		_, remaining := eta.Observe(done, total)
-		fmt.Fprintf(w, "[%d/%d] %s (cell %v, eta %v)\n", done, total, r.Cell.Label(),
-			r.Wall.Round(time.Millisecond), remaining.Round(100*time.Millisecond))
-	}
+	return ProgressEvents(func(ev ProgressEvent) { fmt.Fprintln(w, ev) }, perCell, cells)
 }
 
 // Curves extracts the successful curves of a result set, in plan order.

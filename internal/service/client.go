@@ -1,0 +1,147 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"dsmphase/internal/harness"
+)
+
+// Client is the coordinator's HTTP client, shared by the
+// `cmd/experiments -submit` mode and the service tests.
+type Client struct {
+	// BaseURL is the coordinator root, e.g. "http://127.0.0.1:8356".
+	BaseURL string
+	// HTTP is the transport; nil uses a client with a sane timeout for
+	// the non-streaming calls.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimSuffix(c.BaseURL, "/") + path
+}
+
+// decode reads one response, surfacing the server's {"error": ...}
+// body on non-2xx statuses.
+func decode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("service: %s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("service: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	if v == nil {
+		return nil
+	}
+	return json.Unmarshal(body, v)
+}
+
+// Submit posts a job and returns its initial status.
+func (c *Client) Submit(req JobRequest) (JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := c.http().Post(c.url("/v1/jobs"), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	return st, decode(resp, &st)
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(id string) (JobStatus, error) {
+	resp, err := c.http().Get(c.url("/v1/jobs/" + id))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	return st, decode(resp, &st)
+}
+
+// Wait polls until the job reaches a terminal state. A failed job is
+// an error carrying the server-side failure text.
+func (c *Client) Wait(id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(id)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case StateDone:
+			return st, nil
+		case StateFailed:
+			return st, fmt.Errorf("service: job %s failed: %s", id, st.Error)
+		}
+		time.Sleep(poll)
+	}
+}
+
+// Artifact downloads a done job's merged results artifact.
+func (c *Client) Artifact(id string) (*harness.ShardArtifact, error) {
+	resp, err := c.http().Get(c.url("/v1/jobs/" + id + "/artifact"))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("service: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return harness.ReadShardArtifact(resp.Body)
+}
+
+// Report fetches a done job's report in the named encoder format.
+func (c *Client) Report(id, format, title string) ([]byte, error) {
+	u := c.url("/v1/jobs/" + id + "/report?format=" + format)
+	if title != "" {
+		u += "&title=" + strings.ReplaceAll(title, " ", "+")
+	}
+	resp, err := c.http().Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("service: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}
+
+// Stats fetches the coordinator counters.
+func (c *Client) Stats() (map[string]int64, error) {
+	resp, err := c.http().Get(c.url("/v1/stats"))
+	if err != nil {
+		return nil, err
+	}
+	var stats map[string]int64
+	return stats, decode(resp, &stats)
+}

@@ -1,0 +1,123 @@
+// Package service is the experiment coordinator behind cmd/dsmphased:
+// a long-running HTTP/JSON server that accepts job submissions (a named
+// experiment grid plus Spec parameters), fans the grid's shards out
+// over a pool of workers that exec cmd/experiments -shard with a
+// -shard-dir handshake, survives worker death (per-cell JSONL streams
+// let a re-dispatched shard resume from its last completed cell),
+// detects stragglers and re-dispatches them safely (shard artifacts are
+// fingerprint-validated and idempotent, so a duplicate completion is a
+// no-op), auto-merges completed shard sets through the same
+// MergeShards/Assemble path the CLI uses — so a served report is
+// byte-identical to a direct Spec.Run — and answers repeat submissions
+// from a Plan.Fingerprint-keyed disk cache without spawning a worker.
+//
+// See docs/SERVICE.md for the HTTP API and the artifact/resume schema.
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/url"
+	"os/exec"
+	"strings"
+)
+
+// Worker executes one shard attempt. The zoo behind the interface:
+// local workers exec the experiments binary as a child process; ssh://
+// workers are the cross-machine seam (currently a stub that validates
+// configuration and command plumbing without executing remotely).
+// Run must honor ctx cancellation — the dispatcher cancels losing
+// straggler attempts — and must not return until the attempt's
+// artifact (if any) is fully on disk.
+type Worker interface {
+	// Name labels the worker in logs and events.
+	Name() string
+	// Run executes the experiments binary with the given arguments and
+	// blocks until it exits. A non-nil error marks the attempt failed;
+	// whatever the attempt streamed to its shard dir is still usable for
+	// resume.
+	Run(ctx context.Context, bin string, args []string) error
+}
+
+// ErrSSHWorkerStub marks the unfinished half of the ssh:// worker
+// scheme: the URL parses, the remote command line is assembled, but
+// remote execution and artifact retrieval are not implemented yet.
+var ErrSSHWorkerStub = errors.New("service: ssh workers are a stub (remote execution and artifact retrieval not implemented)")
+
+// ParseWorker builds a Worker from a pool-configuration URL:
+//
+//	local                   — exec the experiments binary on this host
+//	ssh://[user@]host[/bin] — remote worker over ssh (stub)
+//
+// id uniquifies the worker's display name within the pool.
+func ParseWorker(spec string, id int) (Worker, error) {
+	if spec == "local" || spec == "" {
+		return &localWorker{name: fmt.Sprintf("local-%d", id)}, nil
+	}
+	u, err := url.Parse(spec)
+	if err != nil || u.Scheme != "ssh" || u.Host == "" {
+		return nil, fmt.Errorf("service: worker %q: want \"local\" or \"ssh://[user@]host[/remote/bin]\"", spec)
+	}
+	w := &sshWorker{name: fmt.Sprintf("ssh-%d(%s)", id, u.Host), host: u.Host, remoteBin: strings.TrimPrefix(u.Path, "/")}
+	if u.User != nil {
+		w.host = u.User.Username() + "@" + u.Host
+	}
+	return w, nil
+}
+
+// localWorker execs the experiments binary as a child process.
+type localWorker struct {
+	name string
+}
+
+func (w *localWorker) Name() string { return w.name }
+
+func (w *localWorker) Run(ctx context.Context, bin string, args []string) error {
+	cmd := exec.CommandContext(ctx, bin, args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		// Keep the tail of the child's stderr: it names the failing cell
+		// or flag, which the bare exit status does not.
+		msg := strings.TrimSpace(stderr.String())
+		if n := len(msg); n > 512 {
+			msg = "..." + msg[n-512:]
+		}
+		if msg != "" {
+			return fmt.Errorf("%s: %w: %s", w.name, err, msg)
+		}
+		return fmt.Errorf("%s: %w", w.name, err)
+	}
+	return nil
+}
+
+// sshWorker is the cross-machine seam. RemoteCommand shows the shape
+// the finished implementation will exec; Run refuses with
+// ErrSSHWorkerStub so a misconfigured pool fails loudly instead of
+// hanging a job.
+type sshWorker struct {
+	name      string
+	host      string
+	remoteBin string
+}
+
+func (w *sshWorker) Name() string { return w.name }
+
+// RemoteCommand is the argument vector a finished ssh worker would
+// exec: run the remote experiments binary, then stream the shard dir
+// back. Exported for the stub's tests and as the blueprint for the
+// real implementation.
+func (w *sshWorker) RemoteCommand(bin string, args []string) []string {
+	remote := w.remoteBin
+	if remote == "" {
+		remote = bin
+	}
+	return append([]string{"ssh", w.host, remote}, args...)
+}
+
+func (w *sshWorker) Run(ctx context.Context, bin string, args []string) error {
+	_ = w.RemoteCommand(bin, args)
+	return fmt.Errorf("%s: %w", w.name, ErrSSHWorkerStub)
+}

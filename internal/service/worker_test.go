@@ -1,0 +1,75 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestParseWorker(t *testing.T) {
+	w, err := ParseWorker("local", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "local-0" {
+		t.Fatalf("local worker name = %q", w.Name())
+	}
+	if _, err := ParseWorker("carrier-pigeon://host", 1); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+	if _, err := ParseWorker("ssh://", 1); err == nil {
+		t.Fatal("hostless ssh URL accepted")
+	}
+}
+
+func TestSSHWorkerStub(t *testing.T) {
+	w, err := ParseWorker("ssh://alice@farm7/opt/dsm/experiments", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stub refuses to run — a misconfigured pool fails loudly.
+	if err := w.Run(context.Background(), "/usr/local/bin/experiments", []string{"-shard", "0/2"}); !errors.Is(err, ErrSSHWorkerStub) {
+		t.Fatalf("Run = %v, want ErrSSHWorkerStub", err)
+	}
+	// But the command plumbing is real: the remote vector is assembled
+	// from the URL's user, host and binary path.
+	sw := w.(*sshWorker)
+	got := sw.RemoteCommand("/usr/local/bin/experiments", []string{"-shard", "0/2"})
+	want := []string{"ssh", "alice@farm7", "opt/dsm/experiments", "-shard", "0/2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("RemoteCommand = %v, want %v", got, want)
+	}
+	// Without a remote path, the local binary path is reused.
+	w2, err := ParseWorker("ssh://farm8", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = w2.(*sshWorker).RemoteCommand("/bin/experiments", nil)
+	if !reflect.DeepEqual(got, []string{"ssh", "farm8", "/bin/experiments"}) {
+		t.Fatalf("RemoteCommand = %v", got)
+	}
+}
+
+func TestLocalWorkerStderrTail(t *testing.T) {
+	w, err := ParseWorker("local", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(context.Background(), "/bin/sh", []string{"-c", "echo the-failing-cell >&2; exit 7"})
+	if err == nil {
+		t.Fatal("failing child reported success")
+	}
+	if want := "the-failing-cell"; !contains(err.Error(), want) {
+		t.Fatalf("error %q does not carry the child's stderr tail %q", err, want)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
