@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check bench bench-json bench-smoke bench-check golden golden-update tuning-smoke shard-smoke service-smoke coherence-race ci
+.PHONY: build test vet fmt fmt-check bench bench-json bench-smoke bench-check golden golden-update tuning-smoke shard-smoke service-smoke workload-smoke workload-smoke-update coherence-race ci
 
 build:
 	$(GO) build ./...
@@ -120,10 +120,32 @@ shard-smoke:
 	diff "$$tmp/unsharded.md" "$$tmp/merged.md" && \
 	echo "shard-smoke: merged report byte-identical"
 
+# End-to-end smoke of the workload-definition front ends: run the
+# committed example specs — two DSL files and one ingested trace —
+# through the real CLI and require the report to be byte-identical to
+# the pinned golden. The DSL compiler, the trace replayer, and the
+# dynamic-registration path cannot drift silently.
+WORKLOAD_SMOKE_FLAGS = -size test -interval 16000 -grids figure2 \
+	-workload-file examples/adversarial_phases/oscillate.wdl \
+	-workload-file examples/adversarial_phases/drift.wdl \
+	-workload-file examples/trace_ingest/pingpong.wdl \
+	-apps oscillate,drift,pingpong
+
+workload-smoke:
+	@tmp=$$(mktemp) && trap 'rm -f "$$tmp"' EXIT && \
+	$(GO) run ./cmd/experiments $(WORKLOAD_SMOKE_FLAGS) > "$$tmp" && \
+	diff cmd/experiments/testdata/workload_smoke.golden "$$tmp" && \
+	echo "workload-smoke: example-spec report byte-identical to golden"
+
+# Re-pin the workload-smoke golden after an intentional change to the
+# example specs or the report format.
+workload-smoke-update:
+	$(GO) run ./cmd/experiments $(WORKLOAD_SMOKE_FLAGS) > cmd/experiments/testdata/workload_smoke.golden
+
 # The protocol seam's dedicated gate: both coherence backends (the
 # conformance suite included) and the machine layer that selects
 # between them, under the race detector.
 coherence-race:
 	$(GO) test -race ./internal/coherence/... ./internal/machine/...
 
-ci: build fmt-check vet test coherence-race bench bench-check golden tuning-smoke shard-smoke service-smoke
+ci: build fmt-check vet test coherence-race bench bench-check golden tuning-smoke shard-smoke workload-smoke service-smoke

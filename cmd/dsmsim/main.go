@@ -5,6 +5,8 @@
 //	dsmsim -list                   # print Table II (applications and inputs)
 //	dsmsim -app lu -procs 8 -size small
 //	dsmsim -app pagethrash -protocol ivy  # page-granular coherence backend
+//	dsmsim -workload-file my.wdl -app my-workload   # DSL-defined workload
+//	dsmsim -app lu -access-trace-out lu.jsonl       # capture for re-ingestion
 package main
 
 import (
@@ -12,9 +14,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"dsmphase"
+	"dsmphase/internal/isa"
 	"dsmphase/internal/network"
 	"dsmphase/internal/prof"
 	"dsmphase/internal/trace"
@@ -35,8 +39,20 @@ func main() {
 		topology = flag.String("topology", "hypercube", "interconnect: hypercube (Table I) or mesh (ablation)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		accesses = flag.String("access-trace-out", "", "write the run's per-processor address trace as JSONL to this file (re-ingestable via -workload-file)")
 	)
+	var workloadFiles listFlag
+	flag.Var(&workloadFiles, "workload-file", "register a workload DSL spec file (repeatable); its name becomes valid in -app")
 	flag.Parse()
+	for _, path := range workloadFiles {
+		sw, err := dsmphase.LoadWorkloadSpecFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sw.Register(); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *config {
 		printTableI(*procsN)
@@ -136,7 +152,50 @@ func main() {
 		}
 		fmt.Printf("wrote CSV summary to %s\n", *csvOut)
 	}
+	if *accesses != "" {
+		n, err := writeAccessTrace(*accesses, *app, *procsN, size, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d address-trace records to %s\n", n, *accesses)
+	}
 }
+
+// writeAccessTrace captures the run's full instruction streams as
+// address-trace records. Workload streams are pure functions of
+// (procs, size, seed), so regenerating the threads reproduces exactly
+// what the simulation consumed.
+func writeAccessTrace(path, app string, procs int, size dsmphase.Size, seed uint64) (int, error) {
+	wl, err := dsmphase.WorkloadByName(app)
+	if err != nil {
+		return 0, err
+	}
+	var recs []dsmphase.TraceAccess
+	e := isa.NewEmitter(4096)
+	for tid, th := range wl.Threads(procs, size, seed) {
+		for th.NextBatch(e) {
+			for _, in := range e.Take() {
+				recs = append(recs, trace.AccessFromInst(tid, in))
+			}
+			e.Reset()
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	if err := dsmphase.WriteAccessTrace(f, recs); err != nil {
+		f.Close()
+		return 0, err
+	}
+	return len(recs), f.Close()
+}
+
+// listFlag collects a repeatable string flag.
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
 
 // writeTrace dumps the machine's interval records with the given
 // serializer.

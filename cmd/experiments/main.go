@@ -126,6 +126,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cpuProf    = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf    = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
+	var workloadFiles, workloadTraces listFlag
+	fs.Var(&workloadFiles, "workload-file", "register a workload DSL spec file (repeatable); its name becomes valid in -apps")
+	fs.Var(&workloadTraces, "workload-trace", `register an address-trace workload as "name=trace.jsonl" (repeatable)`)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return nil // -h printed the usage; not a failure
@@ -150,6 +153,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	size, err := dsmphase.ParseSize(*sizeArg)
+	if err != nil {
+		return err
+	}
+	// Dynamic workloads register before grid compilation so -apps can
+	// name them; their canonical sources travel with -submit requests.
+	workloadSources, err := loadWorkloads(workloadFiles, workloadTraces)
 	if err != nil {
 		return err
 	}
@@ -228,6 +237,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			Interval:   *interval,
 			Seed:       *seed,
 			Replicates: *replicates,
+			Workloads:  workloadSources,
 		}
 		if reports, tuningRep, err = runSubmit(*submitURL, grids, req, stderr); err != nil {
 			return err
@@ -766,6 +776,54 @@ func parseProtocols(s string) ([]dsmphase.ProtocolKind, error) {
 		kinds = append(kinds, k)
 	}
 	return kinds, nil
+}
+
+// listFlag collects a repeatable string flag.
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
+
+// loadWorkloads registers the -workload-file specs and -workload-trace
+// captures and returns their canonical sources in flag order — the
+// definitions a -submit request ships to the coordinator.
+func loadWorkloads(files, traces listFlag) ([]string, error) {
+	var sources []string
+	for _, path := range files {
+		sw, err := dsmphase.LoadWorkloadSpecFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := sw.Register(); err != nil {
+			return nil, err
+		}
+		sources = append(sources, string(sw.Source()))
+	}
+	for _, spec := range traces {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			return nil, fmt.Errorf(`-workload-trace wants "name=trace.jsonl", got %q`, spec)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := dsmphase.ReadAccessTrace(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		sw, err := dsmphase.WorkloadFromTrace(name,
+			fmt.Sprintf("address trace ingested from %s", filepath.Base(path)), recs)
+		if err != nil {
+			return nil, err
+		}
+		if err := sw.Register(); err != nil {
+			return nil, err
+		}
+		sources = append(sources, string(sw.Source()))
+	}
+	return sources, nil
 }
 
 func splitList(s string) []string {

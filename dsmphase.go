@@ -47,6 +47,7 @@ import (
 	"dsmphase/internal/machine"
 	"dsmphase/internal/predictor"
 	"dsmphase/internal/stats"
+	"dsmphase/internal/trace"
 	"dsmphase/internal/tuning"
 	"dsmphase/internal/workloads"
 )
@@ -430,6 +431,51 @@ func WorkloadByName(name string) (Workload, error) { return workloads.ByName(nam
 
 // ParseSize converts "test", "small" or "full" to a Size.
 func ParseSize(name string) (Size, error) { return workloads.ParseSize(name) }
+
+// ---- Declarative workloads: DSL specs and trace ingestion ----
+//
+// Beyond the built-in generators, workloads are definable at runtime:
+// a JSON DSL describes phases of primitive access-pattern blocks
+// (stride, share, random, tree, broadcast, reduction, stencil), and
+// externally captured address traces replay through the same IR. Both
+// register under a definition hash that the harness folds into plan
+// fingerprints, so result caches and shard artifacts can never confuse
+// two definitions sharing a name.
+
+// SpecWorkload is a runtime-defined workload: a parsed DSL spec or an
+// ingested address trace. Call its Register method to make it
+// available to WorkloadByName, Specs and the experiment grids.
+type SpecWorkload = workloads.SpecWorkload
+
+// TraceAccess is one record of an externally captured per-processor
+// address trace (see docs for the JSONL schema).
+type TraceAccess = trace.Access
+
+// ParseWorkloadSpec parses and validates a workload DSL spec held in
+// memory; trace stanzas must carry inline records.
+func ParseWorkloadSpec(src []byte) (*SpecWorkload, error) { return workloads.ParseSpec(src) }
+
+// LoadWorkloadSpecFile reads and parses a spec file; trace file
+// references resolve relative to the spec's directory and are inlined,
+// so the result is self-contained.
+func LoadWorkloadSpecFile(path string) (*SpecWorkload, error) { return workloads.LoadSpecFile(path) }
+
+// WorkloadFromTrace builds a workload that replays a captured address
+// trace, splitting per-processor streams at sync records into
+// barrier-delimited phases.
+func WorkloadFromTrace(name, desc string, recs []TraceAccess) (*SpecWorkload, error) {
+	return workloads.FromTrace(name, desc, recs)
+}
+
+// WorkloadDefinitionHash returns the definition hash a dynamic
+// workload registered under, or 0 for built-ins and unknown names.
+func WorkloadDefinitionHash(name string) uint64 { return workloads.DefinitionHash(name) }
+
+// ReadAccessTrace reads an address-trace JSONL stream.
+func ReadAccessTrace(r io.Reader) ([]TraceAccess, error) { return trace.ReadAccessJSONL(r) }
+
+// WriteAccessTrace writes an address-trace JSONL stream.
+func WriteAccessTrace(w io.Writer, recs []TraceAccess) error { return trace.WriteAccessJSONL(w, recs) }
 
 // ---- Phase prediction and tuning (the paper's pipeline context) ----
 

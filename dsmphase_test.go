@@ -65,8 +65,8 @@ func TestPublicDetectorAPI(t *testing.T) {
 
 func TestPublicWorkloadRegistry(t *testing.T) {
 	ws := dsmphase.Workloads()
-	if len(ws) != 8 {
-		t.Fatalf("got %d workloads, want Table II's four plus the ocean/radix extensions and the two adversarial kernels", len(ws))
+	if len(ws) != 10 {
+		t.Fatalf("got %d workloads, want Table II's four plus the ocean/radix/barnes/water extensions and the two adversarial kernels", len(ws))
 	}
 	w, err := dsmphase.WorkloadByName("equake")
 	if err != nil || w.Name() != "equake" {

@@ -1,0 +1,13 @@
+{
+  "name": "drift",
+  "description": "adversarial gradual drift: every phase execution grows and shifts the working set a little, so intervals never quite repeat and phase tables fragment",
+  "scale": {"small": 2, "full": 4},
+  "phases": [
+    {"repeat": 32, "blocks": [
+      {"kind": "stride", "count": 256, "count_step": 24, "offset_step": 7, "wrap": 2048,
+       "int_ops": 2, "store": true},
+      {"kind": "random", "count": 32, "count_step": 8, "span": 4096, "store_every": 3,
+       "spread": true, "salt_step": 1}
+    ]}
+  ]
+}

@@ -1,0 +1,16 @@
+{
+  "name": "oscillate",
+  "description": "adversarial rapid oscillation: compute and shared-write bursts alternate at roughly the sampling interval, so a footprint table keeps flipping between two signatures",
+  "repeat": 12,
+  "scale": {"small": 2, "full": 4},
+  "phases": [
+    {"blocks": [
+      {"kind": "stride", "count": 384, "wrap": 1024, "int_ops": 2, "fp_ops": 1, "store": true,
+       "region": {"home": -1, "base": "0x1000000", "elem_bytes": 8}}
+    ]},
+    {"blocks": [
+      {"kind": "share", "count": 96, "degree": 2, "int_ops": 1},
+      {"kind": "random", "count": 128, "span": 4096, "store_every": 4, "spread": true, "salt_step": 1}
+    ]}
+  ]
+}

@@ -1,0 +1,5 @@
+{
+  "name": "pingpong",
+  "description": "externally captured 2-processor trace: compute segments alternating with write-shared ping-pong segments across 6 barriers",
+  "trace": {"file": "pingpong_trace.jsonl"}
+}

@@ -107,11 +107,19 @@ func (p *Plan) Shard(shard, of int) *Plan {
 // the merge refuses artifacts produced under different flags, seeds or
 // grids. Tweak functions cannot be hashed; only their cache keys (and
 // presence) participate, matching the record cache's own blindness.
+// Dynamically registered workloads (DSL specs, ingested traces) fold
+// their definition hash in as well: a built-in name contributes
+// nothing extra — keeping all pre-DSL fingerprints stable — while two
+// specs sharing a name but not a definition can never satisfy each
+// other's shard artifacts or cache entries.
 func (p *Plan) Fingerprint() string {
 	h := rng.Hash64(uint64(len(p.cells)))
 	for i, c := range p.cells {
 		h = hashKey(h, c.simKeyAt(i))
 		h = rng.Hash64(h ^ uint64(c.Kind))
+		if dh := workloads.DefinitionHash(c.Run.Workload); dh != 0 {
+			h = rng.Hash64(h ^ dh)
+		}
 	}
 	return fmt.Sprintf("%016x", h)
 }

@@ -338,8 +338,8 @@ func perProcInterval(total uint64, procs int) uint64 {
 var panels = map[string][]string{
 	// The paper's Table II panel, in figure order.
 	"paper": {"fmm", "lu", "equake", "art"},
-	// The paper panel plus the two spare SPLASH-2 kernels.
-	"extended": {"fmm", "lu", "equake", "art", "ocean", "radix"},
+	// The paper panel plus the remaining Table II SPLASH-2 codes.
+	"extended": {"fmm", "lu", "equake", "art", "ocean", "radix", "barnes", "water"},
 	// Coherence-protocol stress kernels: pathological sharing patterns
 	// that separate the directory and IVY backends.
 	"adversarial": {"fsstencil", "pagethrash"},
@@ -355,18 +355,31 @@ func AppsPanel(name string) ([]string, bool) {
 	return append([]string(nil), p...), true
 }
 
-// ResolveApps expands a single panel alias to its member list; empty
-// resolves to the paper panel. Explicit application lists pass through
-// untouched.
+// ResolveApps expands panel aliases to their member lists — anywhere
+// in the list, so mixed forms like "paper,fsstencil" work — and
+// order-preservingly dedupes the result; empty resolves to the paper
+// panel. Non-alias names pass through untouched.
 func ResolveApps(apps []string) []string {
 	if len(apps) == 0 {
 		apps, _ := AppsPanel("paper")
 		return apps
 	}
-	if len(apps) == 1 {
-		if p, ok := AppsPanel(apps[0]); ok {
-			return p
+	var out []string
+	seen := map[string]bool{}
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
 		}
 	}
-	return append([]string(nil), apps...)
+	for _, a := range apps {
+		if p, ok := AppsPanel(a); ok {
+			for _, name := range p {
+				add(name)
+			}
+		} else {
+			add(a)
+		}
+	}
+	return out
 }

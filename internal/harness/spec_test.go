@@ -329,27 +329,36 @@ func TestResolveApps(t *testing.T) {
 		t.Errorf("empty resolves to %v, want the paper panel", got)
 	}
 	if got := ResolveApps([]string{"extended"}); !reflect.DeepEqual(got,
-		[]string{"fmm", "lu", "equake", "art", "ocean", "radix"}) {
+		[]string{"fmm", "lu", "equake", "art", "ocean", "radix", "barnes", "water"}) {
 		t.Errorf("extended panel = %v", got)
 	}
 	explicit := []string{"lu", "ocean"}
 	if got := ResolveApps(explicit); !reflect.DeepEqual(got, explicit) {
 		t.Errorf("explicit list rewritten to %v", got)
 	}
+	// Aliases expand inside mixed lists, order-preserving and deduped.
+	if got := ResolveApps([]string{"adversarial", "lu"}); !reflect.DeepEqual(got,
+		[]string{"fsstencil", "pagethrash", "lu"}) {
+		t.Errorf("mixed alias list = %v", got)
+	}
+	if got := ResolveApps([]string{"lu", "paper"}); !reflect.DeepEqual(got,
+		[]string{"lu", "fmm", "equake", "art"}) {
+		t.Errorf("alias overlapping an explicit app = %v", got)
+	}
 	if _, ok := AppsPanel("galactic"); ok {
 		t.Error("unknown panel accepted")
 	}
 }
 
-// TestExtendedPanelCoVBehavior validates the two spare kernels the
-// extended panel exposes: ocean and radix must produce finite,
+// TestExtendedPanelCoVBehavior validates the kernels the extended
+// panel exposes beyond the paper four: each must produce finite,
 // phase-sensitive CoV curves (more than one operating point, finite
 // CoV everywhere, and some detected CPI variation), not just register.
 func TestExtendedPanelCoVBehavior(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation runs")
 	}
-	for _, app := range []string{"ocean", "radix"} {
+	for _, app := range []string{"ocean", "radix", "barnes", "water"} {
 		app := app
 		t.Run(app, func(t *testing.T) {
 			rc := RunConfig{

@@ -131,6 +131,13 @@ func (e *Emitter) Sync(pc uint32) {
 	e.buf = append(e.buf, Inst{Op: OpSync, PC: pc})
 }
 
+// Append emits an already-formed instruction verbatim. Trace replay
+// uses this to re-issue externally captured streams through the same
+// buffer discipline the synthetic kernels use.
+func (e *Emitter) Append(in Inst) {
+	e.buf = append(e.buf, in)
+}
+
 // LoopBranch emits the backward branch that closes a counted loop:
 // taken for every iteration except the last. Call once per iteration with
 // the current index i and trip count n.

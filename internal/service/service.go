@@ -99,6 +99,12 @@ type JobRequest struct {
 	Replicates int `json:"replicates,omitempty"`
 	// Shards overrides the job's shard fan-out (0 = server default).
 	Shards int `json:"shards,omitempty"`
+	// Workloads are canonical workload-DSL sources (spec or inlined
+	// trace) shipped with the job. Each is registered at submission —
+	// a malformed spec fails the POST — and written into every worker
+	// attempt's dir, so Apps can name workloads the coordinator binary
+	// has never heard of.
+	Workloads []string `json:"workloads,omitempty"`
 }
 
 // normalize applies the CLI-equivalent defaults in place.
@@ -116,7 +122,20 @@ func (r *JobRequest) normalize() {
 
 // compile builds the request's named grid (and therefore its plan and
 // fingerprint) exactly as cmd/experiments would under the same flags.
+// Shipped workload definitions register first: the grid's fingerprint
+// folds in their definition hashes, and registration is idempotent, so
+// resubmitting the same spec is a cache hit while a changed definition
+// under the same name is rejected here — at submission, not mid-run.
 func (r *JobRequest) compile() (harness.NamedGrid, error) {
+	for i, src := range r.Workloads {
+		sw, err := workloads.ParseSpec([]byte(src))
+		if err != nil {
+			return harness.NamedGrid{}, fmt.Errorf("workloads[%d]: %w", i, err)
+		}
+		if err := sw.Register(); err != nil {
+			return harness.NamedGrid{}, fmt.Errorf("workloads[%d]: %w", i, err)
+		}
+	}
 	size, err := workloads.ParseSize(r.Size)
 	if err != nil {
 		return harness.NamedGrid{}, err
@@ -159,8 +178,26 @@ func (c *Config) workerArgs(req JobRequest, shard, of int, dir string) []string 
 	if c.WorkerParallel > 0 {
 		args = append(args, "-parallel", strconv.Itoa(c.WorkerParallel))
 	}
+	for i := range req.Workloads {
+		args = append(args, "-workload-file", filepath.Join(dir, workloadSpecName(i)))
+	}
 	args = append(args, "-shard", fmt.Sprintf("%d/%d", shard, of), "-shard-dir", dir)
 	return append(args, c.ExtraWorkerArgs...)
+}
+
+// workloadSpecName is the canonical name a shipped workload definition
+// is written under inside an attempt dir.
+func workloadSpecName(i int) string { return fmt.Sprintf("workload_%d.wdl", i) }
+
+// writeWorkloadSpecs materializes a job's shipped workload definitions
+// inside an attempt dir, where workerArgs points -workload-file.
+func writeWorkloadSpecs(dir string, sources []string) error {
+	for i, src := range sources {
+		if err := os.WriteFile(filepath.Join(dir, workloadSpecName(i)), []byte(src), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Job states.
@@ -627,6 +664,10 @@ func (c *Coordinator) runShard(ctx context.Context, j *Job, jobDir string, shard
 		running++
 		dir := filepath.Join(jobDir, fmt.Sprintf("shard_%d", shard), fmt.Sprintf("attempt_%d", k))
 		if err := os.MkdirAll(dir, 0o755); err != nil {
+			c.releaseWorker(w)
+			return err
+		}
+		if err := writeWorkloadSpecs(dir, j.Req.Workloads); err != nil {
 			c.releaseWorker(w)
 			return err
 		}

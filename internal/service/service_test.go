@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dsmphase/internal/harness"
+	"dsmphase/internal/workloads"
 )
 
 // experimentsBin is the worker binary every end-to-end test execs,
@@ -326,6 +327,60 @@ func TestServiceEvents(t *testing.T) {
 		if !bytes.Contains([]byte(text), []byte(want)) {
 			t.Errorf("event stream lacks %s:\n%s", want, text)
 		}
+	}
+}
+
+// TestServiceShippedWorkloads: a submission may carry workload
+// definitions in the request body — here a DSL spec and an ingested
+// trace. The coordinator validates and registers them at submit time,
+// ships the canonical sources to every worker shard, and the served
+// report is byte-identical to a direct in-process run in every
+// encoder format.
+func TestServiceShippedWorkloads(t *testing.T) {
+	osc, err := workloads.LoadSpecFile(filepath.Join("..", "..", "examples", "adversarial_phases", "oscillate.wdl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ping, err := workloads.LoadSpecFile(filepath.Join("..", "..", "examples", "trace_ingest", "pingpong.wdl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord := newTestCoordinator(t, nil)
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	client := &Client{BaseURL: srv.URL}
+
+	req := JobRequest{
+		Grid:      "figure2",
+		Size:      "test",
+		Apps:      []string{"oscillate", "pingpong"},
+		Interval:  16_000,
+		Workloads: []string{string(osc.Source()), string(ping.Source())},
+	}
+	st := submitAndWait(t, client, req)
+	if st.State != StateDone {
+		t.Fatalf("job state = %s", st.State)
+	}
+	for _, format := range harness.EncoderNames() {
+		served, err := client.Report(st.ID, format, req.Grid)
+		if err != nil {
+			t.Fatalf("%s report: %v", format, err)
+		}
+		if direct := directReport(t, req, format); !bytes.Equal(served, direct) {
+			t.Errorf("served %s report for shipped workloads differs from direct run", format)
+		}
+	}
+
+	// Submit-time validation: malformed definitions and conflicting
+	// redefinitions of an already-registered name fail at POST, not
+	// halfway through a dispatched shard.
+	if _, err := coord.Submit(JobRequest{Grid: "figure2", Size: "test", Workloads: []string{"{"}}); err == nil {
+		t.Fatal("malformed workload spec accepted")
+	}
+	conflict := `{"name":"oscillate","description":"redefined","phases":[{"blocks":[{"kind":"stride","count":1}]}]}`
+	if _, err := coord.Submit(JobRequest{Grid: "figure2", Size: "test", Apps: []string{"oscillate"}, Workloads: []string{conflict}}); err == nil {
+		t.Fatal("conflicting redefinition of a shipped workload accepted")
 	}
 }
 

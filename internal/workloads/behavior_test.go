@@ -3,8 +3,10 @@ package workloads
 import (
 	"testing"
 
+	"dsmphase/internal/core"
 	"dsmphase/internal/isa"
 	"dsmphase/internal/machine"
+	"dsmphase/internal/stats"
 )
 
 // Behavioural tests: each workload must actually produce the sharing and
@@ -198,6 +200,106 @@ func TestLUWorkShrinksAcrossSteps(t *testing.T) {
 	late := count(th.items[len(th.items)-third:])
 	if early <= late {
 		t.Errorf("LU work must shrink over time: early=%d late=%d", early, late)
+	}
+}
+
+func TestBarnesForceSkewImbalance(t *testing.T) {
+	// The force phase gives thread 0 barnesSkew% extra descents with a
+	// linear falloff — thread 0 must do measurably more work than the
+	// last thread while barrier counts stay identical.
+	w, _ := ByName("barnes")
+	ths := w.Threads(4, SizeTest, 1)
+	st0 := statsOf(t, ths[0])
+	st3 := statsOf(t, ths[3])
+	if st0.total <= st3.total {
+		t.Errorf("skewed thread 0 (%d instrs) must out-work thread 3 (%d)", st0.total, st3.total)
+	}
+	if st0.syncs != st3.syncs {
+		t.Errorf("barrier counts must still match: %d vs %d", st0.syncs, st3.syncs)
+	}
+}
+
+func TestBarnesTreeTrafficReachesAllHomes(t *testing.T) {
+	// Tree nodes are hash-distributed (node k lives on home k mod n), so
+	// a thread's descents must touch every home — the irregular sharing
+	// signature that distinguishes barnes from the strip-partitioned
+	// codes.
+	w, _ := ByName("barnes")
+	ths := w.Threads(4, SizeTest, 1)
+	st := statsOf(t, ths[2])
+	for h := 0; h < 4; h++ {
+		if st.byHome[h] == 0 {
+			t.Errorf("thread 2 never touched home %d: %v", h, st.byHome)
+		}
+	}
+}
+
+func TestWaterBroadcastReachesAllPeers(t *testing.T) {
+	// The inter-molecular phase reads every peer's position block, but
+	// the private intraf/update sweeps must still dominate the thread's
+	// own-home traffic (long local phases, all-to-all read bursts).
+	w, _ := ByName("water")
+	ths := w.Threads(4, SizeTest, 1)
+	st := statsOf(t, ths[1])
+	for h := 0; h < 4; h++ {
+		if st.byHome[h] == 0 {
+			t.Errorf("thread 1 never touched home %d: %v", h, st.byHome)
+		}
+	}
+	if st.byHome[1] <= st.byHome[2] {
+		t.Errorf("own-home traffic (%d) must dominate a peer's (%d)", st.byHome[1], st.byHome[2])
+	}
+}
+
+// phaseCoV runs a workload, classifies its recorded intervals with the
+// BBV detector and returns the phase-conditioned identifier CoV next to
+// the unconditioned CoV of the same CPI series (proc 0).
+func phaseCoV(t *testing.T, name string, interval uint64) (withPhases, without float64, phases int) {
+	t.Helper()
+	w, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultConfig(2)
+	cfg.IntervalInstructions = interval
+	m := machine.New(cfg, w.Threads(2, SizeTest, 1))
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sigs := m.RecordsByProc()[0]
+	if len(sigs) < 4 {
+		t.Fatalf("%s: only %d intervals recorded", name, len(sigs))
+	}
+	ids := core.ClassifyRecorded(core.DetectorBBV, 16, 0.05, 0, sigs)
+	cpis := make([]float64, len(sigs))
+	for i, s := range sigs {
+		cpis[i] = s.CPI()
+	}
+	cov, n := stats.IdentifierCoV(ids, cpis)
+	return cov, stats.CoV(cpis), n
+}
+
+func TestBarnesPhaseContrast(t *testing.T) {
+	// Barnes alternates build/force/update (plus periodic reductions):
+	// the BBV detector must find more than one phase, and conditioning
+	// CPI on the phase IDs must shrink the CoV — the Table II property
+	// the workload exists to exhibit.
+	cov, raw, phases := phaseCoV(t, "barnes", 2_000)
+	if phases < 2 {
+		t.Fatalf("BBV found only %d phase(s)", phases)
+	}
+	if cov >= raw {
+		t.Errorf("phase-conditioned CoV %v must beat unconditioned %v", cov, raw)
+	}
+}
+
+func TestWaterPhaseContrast(t *testing.T) {
+	cov, raw, phases := phaseCoV(t, "water", 2_000)
+	if phases < 2 {
+		t.Fatalf("BBV found only %d phase(s)", phases)
+	}
+	if cov >= raw {
+		t.Errorf("phase-conditioned CoV %v must beat unconditioned %v", cov, raw)
 	}
 }
 

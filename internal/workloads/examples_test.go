@@ -1,0 +1,141 @@
+package workloads
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dsmphase/internal/core"
+	"dsmphase/internal/machine"
+)
+
+// examplePath resolves a repo examples/ file from the package dir.
+func examplePath(parts ...string) string {
+	return filepath.Join(append([]string{"..", "..", "examples"}, parts...)...)
+}
+
+// loadExample parses, registers and schedules cleanup for an example
+// spec file.
+func loadExample(t *testing.T, parts ...string) *SpecWorkload {
+	t.Helper()
+	sw, err := LoadSpecFile(examplePath(parts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Register(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { removeDynamic(sw.Name()) })
+	return sw
+}
+
+// classifyPhases runs a registered workload on a 2-node machine and
+// returns proc 0's BBV phase IDs at the behavior-test thresholds.
+func classifyPhases(t *testing.T, name string, interval uint64) []int {
+	t.Helper()
+	w, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultConfig(2)
+	cfg.IntervalInstructions = interval
+	m := machine.New(cfg, w.Threads(2, SizeTest, 1))
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sigs := m.RecordsByProc()[0]
+	if len(sigs) < 4 {
+		t.Fatalf("%s: only %d intervals recorded", name, len(sigs))
+	}
+	return core.ClassifyRecorded(core.DetectorBBV, 16, 0.05, 0, sigs)
+}
+
+// switchRate is the fraction of intervals whose phase ID differs from
+// the previous interval's.
+func switchRate(ids []int) float64 {
+	switches := 0
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[i-1] {
+			switches++
+		}
+	}
+	return float64(switches) / float64(len(ids)-1)
+}
+
+func distinct(ids []int) int {
+	seen := map[int]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	return len(seen)
+}
+
+// longestRun is the longest streak of identical consecutive phase IDs —
+// how long the detector manages to stay settled in one phase.
+func longestRun(ids []int) int {
+	best, run := 1, 1
+	for i := 1; i < len(ids); i++ {
+		if ids[i] == ids[i-1] {
+			run++
+		} else {
+			run = 1
+		}
+		if run > best {
+			best = run
+		}
+	}
+	return best
+}
+
+// TestAdversarialSpecsDegradeDetector pins the point of the
+// examples/adversarial_phases specs: against a well-behaved Table II
+// generator (lu) at identical thresholds, both specs destabilize the
+// classification — the detector flips phase IDs in most intervals and
+// never settles into a long stable run.
+func TestAdversarialSpecsDegradeDetector(t *testing.T) {
+	loadExample(t, "adversarial_phases", "oscillate.wdl")
+	loadExample(t, "adversarial_phases", "drift.wdl")
+	const interval = 2_000
+
+	base := classifyPhases(t, "lu", interval)
+	osc := classifyPhases(t, "oscillate", interval)
+	dri := classifyPhases(t, "drift", interval)
+
+	baseRate := switchRate(base)
+	if oscRate := switchRate(osc); oscRate < 2*baseRate || oscRate < 0.3 {
+		t.Errorf("oscillate switch rate %.2f (lu: %.2f); want >2x lu and >0.3", oscRate, baseRate)
+	}
+	if driRate := switchRate(dri); driRate < 3*baseRate || driRate < 0.5 {
+		t.Errorf("drift switch rate %.2f (lu: %.2f); want >3x lu and >0.5", driRate, baseRate)
+	}
+	// lu settles into long per-phase runs; under drift the detector
+	// never holds a phase for long even though no boundary is abrupt.
+	if baseRun, driRun := longestRun(base), longestRun(dri); driRun*4 > baseRun {
+		t.Errorf("drift's longest stable run is %d intervals vs lu's %d; want <1/4", driRun, baseRun)
+	}
+}
+
+// TestTraceIngestExample runs the committed example capture end to end:
+// spec file -> inlined records -> replayed workload -> machine run with
+// recorded intervals, on the capture's node count and a larger one.
+func TestTraceIngestExample(t *testing.T) {
+	sw := loadExample(t, "trace_ingest", "pingpong.wdl")
+	if sw.Name() != "pingpong" {
+		t.Fatalf("name = %q", sw.Name())
+	}
+	ids := classifyPhases(t, "pingpong", 2_000)
+	if distinct(ids) < 2 {
+		t.Errorf("pingpong classified as %d phase(s); the capture alternates two segment flavors", distinct(ids))
+	}
+
+	// The 2-proc capture must also run on a bigger machine (homes
+	// remapped, procs folded; idle nodes just wait at barriers).
+	cfg := machine.DefaultConfig(8)
+	cfg.IntervalInstructions = 500
+	m := machine.New(cfg, sw.Threads(8, SizeTest, 1))
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.RecordsByProc()[0]) == 0 {
+		t.Fatal("no intervals recorded on the 8-node replay")
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"dsmphase/internal/isa"
-	"dsmphase/internal/machine"
 )
 
 // FSStencil is an adversarial microbenchmark (not a Table II
@@ -24,6 +23,11 @@ import (
 // (update own shared word, read the line-mates' words), separated by
 // barriers — so detectors see two clearly distinct phases whose timing
 // gap is protocol-dependent.
+//
+// Expressed over the IR as Stride (private compute) + Share
+// (sharing-degree-4 exchange over word-packed slots); the stream is
+// byte-identical to the pre-IR hand-written emitter (pinned by
+// TestIRStreamEquivalence).
 type FSStencil struct{}
 
 func init() { Register(FSStencil{}) }
@@ -59,101 +63,36 @@ func (w FSStencil) InputSet(sz Size) string {
 	return fmt.Sprintf("%d iterations, %d updates/line, 4 words per 32B line", p.Iters, p.Updates)
 }
 
-// FSStencil kernel kinds.
-const (
-	fsCompute = iota
-	fsCommunicate
-)
-
 const pcFSStencil = 0x7000_0000
 
 // fsWordsPerLine is how many 8-byte accumulators pack into one 32 B
-// line: the false-sharing factor.
+// line: the false-sharing factor (the Share block's Degree).
 const fsWordsPerLine = 4
 
-type fsstencilRun struct {
-	n int
-	p fsstencilParams
-}
-
-// sharedWordAddr is processor tid's private 8-byte accumulator inside
-// the packed array at home node 0: line tid/4, word tid%4. Distinct
-// processors never touch the same word, only the same line.
-func (r *fsstencilRun) sharedWordAddr(tid int) uint64 {
-	line := uint64(tid / fsWordsPerLine)
-	word := uint64(tid % fsWordsPerLine)
-	return machine.AddrAt(0, line*32+word*8)
-}
-
-// privAddr is an address in tid's private region.
-func (r *fsstencilRun) privAddr(tid, i int) uint64 {
-	return machine.AddrAt(tid, 1<<24|uint64(i)*8)
-}
-
-// lineMates returns the processors packed into tid's line, excluding
-// tid itself.
-func (r *fsstencilRun) lineMates(tid int) []int {
-	base := tid / fsWordsPerLine * fsWordsPerLine
-	var out []int
-	for q := base; q < base+fsWordsPerLine && q < r.n; q++ {
-		if q != tid {
-			out = append(out, q)
-		}
+// program builds the IR form: per iteration, a private Stride phase
+// then a Share phase over the word-packed line at home 0. Slot q of
+// the shared array is AddrAt(0, q*8) — four words per 32 B line.
+func (w FSStencil) program(sz Size) *Program {
+	p := w.params(sz)
+	prog := &Program{BarrierPC: pcFSStencil + 0xF00}
+	for it := 0; it < p.Iters; it++ {
+		prog.Phases = append(prog.Phases,
+			Phase{Blocks: []Block{&Stride{
+				PC: pcFSStencil + 0x000, Count: p.Compute, Wrap: 1024, Offset: it,
+				IntOps: 2, Store: true,
+				Region: Region{Home: OwnerThread, Base: 1 << 24, ElemBytes: 8},
+			}}},
+			Phase{Blocks: []Block{&Share{
+				PC: pcFSStencil + 0x100, Count: p.Updates, Degree: fsWordsPerLine,
+				IntOps: 1,
+				Slots:  Region{Home: 0, SlotBytes: 8},
+			}}},
+		)
 	}
-	return out
+	return prog
 }
 
 // Threads implements Workload.
 func (w FSStencil) Threads(n int, sz Size, seed uint64) []isa.Thread {
-	p := w.params(sz)
-	run := &fsstencilRun{n: n, p: p}
-	out := make([]isa.Thread, n)
-	for tid := 0; tid < n; tid++ {
-		var items []item
-		for it := 0; it < p.Iters; it++ {
-			items = append(items, item{kind: fsCompute, a: tid, b: it})
-			items = append(items, item{kind: kindBarrier})
-			items = append(items, item{kind: fsCommunicate, a: tid})
-			items = append(items, item{kind: kindBarrier})
-		}
-		out[tid] = &scriptThread{items: items, emit: run.emit, barrierPC: pcFSStencil + 0xF00}
-	}
-	return out
-}
-
-func (r *fsstencilRun) emit(it item, e *isa.Emitter) {
-	switch it.kind {
-	case fsCompute:
-		r.emitCompute(e, it.a, it.b)
-	case fsCommunicate:
-		r.emitCommunicate(e, it.a)
-	default:
-		panic("fsstencil: unknown work item")
-	}
-}
-
-// emitCompute: private relaxation sweep — all traffic stays local.
-func (r *fsstencilRun) emitCompute(e *isa.Emitter, tid, iter int) {
-	const pc = pcFSStencil + 0x000
-	for i := 0; i < r.p.Compute; i++ {
-		e.Load(pc+0, r.privAddr(tid, (i+iter)%1024))
-		e.Int(pc+4, 2)
-		e.Store(pc+8, r.privAddr(tid, (i+iter)%1024))
-		e.LoopBranch(pc+12, i, r.p.Compute)
-	}
-}
-
-// emitCommunicate: hammer the processor's own word of the packed line,
-// then read the line-mates' words — the false-sharing hot loop.
-func (r *fsstencilRun) emitCommunicate(e *isa.Emitter, tid int) {
-	const pc = pcFSStencil + 0x100
-	mates := r.lineMates(tid)
-	for u := 0; u < r.p.Updates; u++ {
-		e.Store(pc+0, r.sharedWordAddr(tid))
-		e.Int(pc+4, 1)
-		for j, q := range mates {
-			e.Load(pc+8+uint32(j)*4, r.sharedWordAddr(q))
-		}
-		e.LoopBranch(pc+24, u, r.p.Updates)
-	}
+	return w.program(sz).Threads(n, seed)
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"dsmphase/internal/isa"
-	"dsmphase/internal/machine"
 )
 
 // Ocean models SPLASH-2 Ocean (extension beyond the paper's Table II):
@@ -19,6 +18,11 @@ import (
 // from LU's row/column broadcasts or Art's all-to-all), the reduction
 // phase serializes on one home (contention spike), and the multigrid
 // step halves the work periodically (temporal phase change).
+//
+// Expressed over the IR as the stencil family — Stencil sweeps per
+// colour, a Reduction over the strip's residual column, and a Restrict
+// projection every third step; byte-identical to the pre-IR emitter
+// (pinned by TestIRStreamEquivalence).
 type Ocean struct{}
 
 func init() { Register(Ocean{}) }
@@ -53,152 +57,58 @@ func (w Ocean) InputSet(sz Size) string {
 	return fmt.Sprintf("%d×%d grid, %d timesteps", p.Grid, p.Grid, p.Steps)
 }
 
-// Ocean kernel kinds.
-const (
-	oceanRelax = iota
-	oceanReduce
-	oceanRestrict
-)
-
 const pcOcean = 0x5000_0000
 
 // oceanChunk is the number of grid rows per work item.
 const oceanChunk = 8
 
-type oceanRun struct {
-	n    int
-	p    oceanParams
-	seed uint64
-}
+// oceanLevelShift positions each multigrid level in a disjoint window
+// of the owner's memory.
+const oceanLevelShift = 27
 
-// rowOwner partitions rows into contiguous strips.
-func (r *oceanRun) rowOwner(row, grid int) int {
-	return row * r.n / grid
-}
-
-// cellAddr is the address of grid cell (row, col) at the given multigrid
-// level (each level has a disjoint region of the owner's memory).
-func (r *oceanRun) cellAddr(row, col, grid, level int) uint64 {
-	base := uint64(level) << 27
-	return machine.AddrAt(r.rowOwner(row, grid), base+uint64(row*grid+col)*8)
-}
-
-// accumAddr is the global residual accumulator (home node 0).
-func (r *oceanRun) accumAddr() uint64 {
-	return machine.AddrAt(0, 1<<30)
+// program builds the IR form. The grid/level trajectory (multigrid
+// restriction every third step, reset to the fine grid after) is the
+// phase sequence; each timestep contributes a red sweep, a black sweep,
+// a reduction and optionally a restriction, every one barrier-closed.
+func (w Ocean) program(sz Size) *Program {
+	p := w.params(sz)
+	prog := &Program{BarrierPC: pcOcean + 0xF00}
+	grid := p.Grid
+	level := 0
+	for ts := 0; ts < p.Steps; ts++ {
+		for _, colour := range []int{0, 1} { // red sweep, black sweep
+			prog.Phases = append(prog.Phases, Phase{Blocks: []Block{&Stencil{
+				PC: uint32(pcOcean + 0x000 + 0x40*colour), Grid: grid, Colour: colour,
+				Level: level, ColStep: 4, FPOps: 3, RowChunk: oceanChunk,
+				LevelShift: oceanLevelShift, ElemBytes: 8,
+			}}})
+		}
+		prog.Phases = append(prog.Phases, Phase{Blocks: []Block{&Reduction{
+			PC: pcOcean + 0x100, Elems: grid, FPOps: 1,
+			// Element r of the swept array is the strip's residual column:
+			// cell (r, grid/2) of the current level's window.
+			Base:      uint64(level)<<oceanLevelShift + uint64(grid/2)*8,
+			ElemBytes: uint64(grid) * 8,
+			Accum:     Region{Home: 0, Base: 1 << 30},
+		}}})
+		// Multigrid restriction every third step: drop to a coarser grid
+		// for the next step, then return to the fine grid.
+		if ts%3 == 2 && grid > 32 {
+			prog.Phases = append(prog.Phases, Phase{Blocks: []Block{&Restrict{
+				PC: pcOcean + 0x200, Grid: grid, Level: level, ColStep: 4, FPOps: 2,
+				LevelShift: oceanLevelShift, ElemBytes: 8,
+			}}})
+			grid = grid / 2
+			level++
+		} else if level > 0 {
+			grid = p.Grid
+			level = 0
+		}
+	}
+	return prog
 }
 
 // Threads implements Workload.
 func (w Ocean) Threads(n int, sz Size, seed uint64) []isa.Thread {
-	p := w.params(sz)
-	run := &oceanRun{n: n, p: p, seed: seed}
-	out := make([]isa.Thread, n)
-	for tid := 0; tid < n; tid++ {
-		var items []item
-		grid := p.Grid
-		level := 0
-		for ts := 0; ts < p.Steps; ts++ {
-			lo := tid * grid / n
-			hi := (tid + 1) * grid / n
-			for _, colour := range []int{0, 1} { // red sweep, black sweep
-				for s := lo; s < hi; s += oceanChunk {
-					e := s + oceanChunk
-					if e > hi {
-						e = hi
-					}
-					items = append(items, item{kind: oceanRelax, a: s, b: e, c: colour | level<<1, d: grid})
-				}
-				items = append(items, item{kind: kindBarrier})
-			}
-			items = append(items, item{kind: oceanReduce, a: lo, b: hi, d: grid, c: level})
-			items = append(items, item{kind: kindBarrier})
-			// Multigrid restriction every third step: drop to a coarser
-			// grid for the next step, then return to the fine grid.
-			if ts%3 == 2 && grid > 32 {
-				items = append(items, item{kind: oceanRestrict, a: lo / 2, b: hi / 2, c: level, d: grid})
-				items = append(items, item{kind: kindBarrier})
-				grid = grid / 2
-				level++
-			} else if level > 0 {
-				grid = p.Grid
-				level = 0
-			}
-		}
-		out[tid] = &scriptThread{items: items, emit: run.emit, barrierPC: pcOcean + 0xF00}
-	}
-	return out
-}
-
-func (r *oceanRun) emit(it item, e *isa.Emitter) {
-	switch it.kind {
-	case oceanRelax:
-		r.emitRelax(e, it.a, it.b, it.c&1, it.c>>1, it.d)
-	case oceanReduce:
-		r.emitReduce(e, it.a, it.b, it.c, it.d)
-	case oceanRestrict:
-		r.emitRestrict(e, it.a, it.b, it.c, it.d)
-	default:
-		panic("ocean: unknown work item")
-	}
-}
-
-// emitRelax performs a red-black relaxation sweep over rows [lo, hi):
-// each updated cell reads its four neighbours; the row above the strip's
-// first row and below its last row belong to the neighbouring
-// processors (halo traffic). Columns are sampled to bound instruction
-// counts while preserving the per-row structure.
-func (r *oceanRun) emitRelax(e *isa.Emitter, lo, hi, colour, level, grid int) {
-	pc := uint32(pcOcean + 0x000 + 0x40*colour)
-	colStep := 4 // sample every 4th column
-	for row := lo; row < hi; row++ {
-		start := (row + colour) % 2
-		for col := start + 1; col < grid-1; col += colStep {
-			e.Load(pc+0, r.cellAddr(row, col, grid, level))
-			up := row - 1
-			if up < 0 {
-				up = 0
-			}
-			down := row + 1
-			if down >= grid {
-				down = grid - 1
-			}
-			e.Load(pc+4, r.cellAddr(up, col, grid, level))
-			e.Load(pc+8, r.cellAddr(down, col, grid, level))
-			e.FP(pc+12, 3)
-			e.Store(pc+16, r.cellAddr(row, col, grid, level))
-			e.LoopBranch(pc+20, col/colStep, (grid-2)/colStep+1)
-		}
-		e.LoopBranch(pc+24, row-lo, hi-lo)
-	}
-}
-
-// emitReduce accumulates the strip's residual into the global
-// accumulator homed at node 0 — every processor converges on one line.
-func (r *oceanRun) emitReduce(e *isa.Emitter, lo, hi, level, grid int) {
-	const pc = pcOcean + 0x100
-	for row := lo; row < hi; row++ {
-		e.Load(pc+0, r.cellAddr(row, grid/2, grid, level))
-		e.FP(pc+4, 1)
-		e.LoopBranch(pc+8, row-lo, hi-lo)
-	}
-	// Read-modify-write of the shared accumulator.
-	e.Load(pc+12, r.accumAddr())
-	e.FP(pc+16, 1)
-	e.Store(pc+20, r.accumAddr())
-}
-
-// emitRestrict projects the strip onto the next-coarser grid.
-func (r *oceanRun) emitRestrict(e *isa.Emitter, lo, hi, level, grid int) {
-	const pc = pcOcean + 0x200
-	coarse := grid / 2
-	for row := lo; row < hi && row < coarse; row++ {
-		for col := 0; col < coarse; col += 4 {
-			e.Load(pc+0, r.cellAddr(row*2, col*2, grid, level))
-			e.Load(pc+4, r.cellAddr(row*2+1, col*2, grid, level))
-			e.FP(pc+8, 2)
-			e.Store(pc+12, r.cellAddr(row, col, coarse, level+1))
-			e.LoopBranch(pc+16, col/4, coarse/4)
-		}
-		e.LoopBranch(pc+20, row-lo, hi-lo)
-	}
+	return w.program(sz).Threads(n, seed)
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"dsmphase/internal/isa"
-	"dsmphase/internal/machine"
 )
 
 // PageThrash is an adversarial microbenchmark (not a Table II
@@ -20,6 +19,11 @@ import (
 //
 // Phase structure: each iteration alternates a private compute phase
 // with a shared-page write phase, separated by barriers.
+//
+// Expressed over the IR as two Stride blocks — a private sweep and a
+// single-element read-modify-write whose Region packs thread slots 32 B
+// apart wrapped within one page; byte-identical to the pre-IR emitter
+// (pinned by TestIRStreamEquivalence).
 type PageThrash struct{}
 
 func init() { Register(PageThrash{}) }
@@ -55,82 +59,37 @@ func (w PageThrash) InputSet(sz Size) string {
 	return fmt.Sprintf("%d iterations, %d writes/page, one 4kB page", p.Iters, p.Writes)
 }
 
-// PageThrash kernel kinds.
-const (
-	ptCompute = iota
-	ptShared
-)
-
 const pcPageThrash = 0x7100_0000
 
-// ptPageBytes is the shared region size: one IVY page.
+// ptPageBytes is the shared region size: one IVY page. Thread slots are
+// 32 B lines wrapped within it, so lines recycle for n > 128 — which
+// only makes the workload more adversarial.
 const ptPageBytes = 4096
 
-type pagethrashRun struct {
-	n int
-	p pagethrashParams
-}
-
-// sharedLineAddr is processor tid's private 32 B line inside the one
-// shared page at home node 0. Lines wrap within the page for n > 128,
-// which only makes the workload more adversarial.
-func (r *pagethrashRun) sharedLineAddr(tid int) uint64 {
-	return machine.AddrAt(0, uint64(tid)*32%ptPageBytes)
-}
-
-// privAddr is an address in tid's private region.
-func (r *pagethrashRun) privAddr(tid, i int) uint64 {
-	return machine.AddrAt(tid, 1<<24|uint64(i)*8)
+// program builds the IR form: per iteration, a private Stride phase
+// then a shared Stride phase hammering the thread's own line of the one
+// page (Wrap 1 pins every round to the same element).
+func (w PageThrash) program(sz Size) *Program {
+	p := w.params(sz)
+	prog := &Program{BarrierPC: pcPageThrash + 0xF00}
+	for it := 0; it < p.Iters; it++ {
+		prog.Phases = append(prog.Phases,
+			Phase{Blocks: []Block{&Stride{
+				PC: pcPageThrash + 0x000, Count: p.Compute, Wrap: 1024, Offset: it,
+				IntOps: 2, Store: true,
+				Region: Region{Home: OwnerThread, Base: 1 << 24, ElemBytes: 8},
+			}}},
+			Phase{Blocks: []Block{&Stride{
+				PC: pcPageThrash + 0x100, Count: p.Writes, Wrap: 1,
+				IntOps: 1, Store: true,
+				Region: Region{Home: 0, SlotBytes: 32, SlotWrap: ptPageBytes},
+			}}},
+		)
+	}
+	return prog
 }
 
 // Threads implements Workload.
 func (w PageThrash) Threads(n int, sz Size, seed uint64) []isa.Thread {
-	p := w.params(sz)
-	run := &pagethrashRun{n: n, p: p}
-	out := make([]isa.Thread, n)
-	for tid := 0; tid < n; tid++ {
-		var items []item
-		for it := 0; it < p.Iters; it++ {
-			items = append(items, item{kind: ptCompute, a: tid, b: it})
-			items = append(items, item{kind: kindBarrier})
-			items = append(items, item{kind: ptShared, a: tid})
-			items = append(items, item{kind: kindBarrier})
-		}
-		out[tid] = &scriptThread{items: items, emit: run.emit, barrierPC: pcPageThrash + 0xF00}
-	}
-	return out
-}
-
-func (r *pagethrashRun) emit(it item, e *isa.Emitter) {
-	switch it.kind {
-	case ptCompute:
-		r.emitCompute(e, it.a, it.b)
-	case ptShared:
-		r.emitShared(e, it.a)
-	default:
-		panic("pagethrash: unknown work item")
-	}
-}
-
-// emitCompute: private sweep — all traffic stays local.
-func (r *pagethrashRun) emitCompute(e *isa.Emitter, tid, iter int) {
-	const pc = pcPageThrash + 0x000
-	for i := 0; i < r.p.Compute; i++ {
-		e.Load(pc+0, r.privAddr(tid, (i+iter)%1024))
-		e.Int(pc+4, 2)
-		e.Store(pc+8, r.privAddr(tid, (i+iter)%1024))
-		e.LoopBranch(pc+12, i, r.p.Compute)
-	}
-}
-
-// emitShared: hammer the processor's own line of the one shared page —
-// disjoint at line granularity, a write ping-pong at page granularity.
-func (r *pagethrashRun) emitShared(e *isa.Emitter, tid int) {
-	const pc = pcPageThrash + 0x100
-	for u := 0; u < r.p.Writes; u++ {
-		e.Load(pc+0, r.sharedLineAddr(tid))
-		e.Int(pc+4, 1)
-		e.Store(pc+8, r.sharedLineAddr(tid))
-		e.LoopBranch(pc+12, u, r.p.Writes)
-	}
+	return w.program(sz).Threads(n, seed)
 }

@@ -70,6 +70,54 @@ func TestFSStencilBlowsUpDirectoryNotIVY(t *testing.T) {
 	}
 }
 
+func TestBarnesWriteSharingLightsUpBothProtocols(t *testing.T) {
+	// Tree-build stores scatter concurrent writers over hash-distributed
+	// nodes: the directory backend must record line invalidations, and
+	// the IVY backend must see the same contention as page-ownership
+	// churn. Each backend stays silent in the other's vocabulary.
+	const n = 4
+	dir := runProtocol(t, "barnes", n, coherence.KindDirectory)
+	if dir.Invalidations == 0 {
+		t.Error("directory Invalidations = 0; concurrent tree writers must collide")
+	}
+	if dir.PageFaults != 0 || dir.PageTransfers != 0 || dir.PageInvalidations != 0 {
+		t.Errorf("directory backend touched page counters: %+v", dir)
+	}
+	ivy := runProtocol(t, "barnes", n, coherence.KindIVY)
+	if ivy.Invalidations != 0 {
+		t.Errorf("ivy Invalidations = %d, want 0 (page backend has no line metric)", ivy.Invalidations)
+	}
+	if ivy.PageInvalidations == 0 {
+		t.Error("ivy PageInvalidations = 0; tree writes must churn page ownership")
+	}
+	if ivy.PageFaults == 0 {
+		t.Error("ivy PageFaults = 0, want > 0")
+	}
+}
+
+func TestWaterReadSharingStaysQuietNextToBarnes(t *testing.T) {
+	// Water's sharing is read-only (peers' position blocks are only ever
+	// loaded; stores stay in private regions) — the lone write-shared
+	// line is the reduction accumulator. Its invalidation traffic must
+	// therefore be a small fraction of barnes's under the directory
+	// backend, while the all-pairs read bursts still show up as remote
+	// reads and page copies.
+	const n = 4
+	water := runProtocol(t, "water", n, coherence.KindDirectory)
+	barnes := runProtocol(t, "barnes", n, coherence.KindDirectory)
+	if water.RemoteTrips == 0 {
+		t.Error("water directory RemoteTrips = 0; the broadcast phase must read remote homes")
+	}
+	if water.Invalidations*4 >= barnes.Invalidations {
+		t.Errorf("read-mostly water (%d invalidations) must stay far below barnes (%d)",
+			water.Invalidations, barnes.Invalidations)
+	}
+	ivy := runProtocol(t, "water", n, coherence.KindIVY)
+	if ivy.PageTransfers == 0 {
+		t.Error("ivy PageTransfers = 0; broadcast reads must install page copies")
+	}
+}
+
 func TestPageThrashBlowsUpIVYNotDirectory(t *testing.T) {
 	const n = 4 // four distinct 32B lines, one shared 4kB page
 	p := PageThrash{}.params(SizeTest)

@@ -1,0 +1,119 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dsmphase/internal/isa"
+)
+
+// Water models SPLASH-2 Water-Nsquared (Table II: 512 molecules): an
+// O(N²) molecular-dynamics code where every processor owns a block of
+// molecules and each timestep evaluates pairwise interactions against
+// every other processor's block. The missing Table II entry on the
+// regular all-pairs side.
+//
+// Expressed over the IR, each timestep is:
+//
+//   - intra-molecular forces: a private Stride sweep over the owned
+//     molecules' atom state (purely local FP work);
+//   - inter-molecular forces: a Broadcast of every peer's
+//     position block — per-thread traffic stays roughly constant as n
+//     grows (fewer molecules per peer, more peers), the signature
+//     all-pairs pattern;
+//   - position/velocity update: a private Stride sweep;
+//   - every third step, a potential-energy Reduction over the
+//     strip-partitioned molecule array into the global accumulator.
+//
+// Substitution argument: Water-Nsquared's phase skeleton (intraf /
+// interf / predic-correc, barrier-separated) and its machine-visible
+// behavior — long local phases punctuated by all-to-all read bursts
+// and a serializing energy sum — survive; the force arithmetic is
+// abstracted into FP-op counts per pair read.
+type Water struct{}
+
+func init() { Register(Water{}) }
+
+// Name implements Workload.
+func (Water) Name() string { return "water" }
+
+// Description implements Workload.
+func (Water) Description() string {
+	return "SPLASH-2 Water-Nsquared stand-in (private intraf, all-pairs interf broadcast, energy reduction)"
+}
+
+type waterParams struct {
+	Molecules int
+	Steps     int
+}
+
+func (Water) params(sz Size) waterParams {
+	switch sz {
+	case SizeTest:
+		return waterParams{Molecules: 216, Steps: 10}
+	case SizeSmall:
+		return waterParams{Molecules: 343, Steps: 12}
+	default:
+		return waterParams{Molecules: 512, Steps: 16} // Table II scale
+	}
+}
+
+// InputSet implements Workload.
+func (w Water) InputSet(sz Size) string {
+	p := w.params(sz)
+	return fmt.Sprintf("%d molecules, %d timesteps", p.Molecules, p.Steps)
+}
+
+const pcWater = 0x7300_0000
+
+// waterAtoms is the per-molecule atom-state expansion factor of the
+// intra-molecular sweep (three atoms, positions+velocities).
+const waterAtoms = 6
+
+// waterPairs is the sampled pair-interaction factor: each owned
+// molecule reads waterPairs of every peer's molecules per timestep, so
+// per-thread inter-molecular traffic stays roughly constant as n grows
+// ((n-1) peers × M/n molecules × waterPairs) — the O(N²) all-pairs
+// signature without emitting the full quadratic stream.
+const waterPairs = 8
+
+// program builds the IR form for one (n, size) geometry. perProc is at
+// least 1 so the workload stays well-formed when n exceeds the
+// molecule count.
+func (w Water) program(n int, sz Size) *Program {
+	p := w.params(sz)
+	perProc := p.Molecules / n
+	if perProc < 1 {
+		perProc = 1
+	}
+	prog := &Program{BarrierPC: pcWater + 0xF00}
+	for ts := 0; ts < p.Steps; ts++ {
+		prog.Phases = append(prog.Phases,
+			Phase{Blocks: []Block{&Stride{
+				PC: pcWater + 0x000, Count: perProc * waterAtoms, IntOps: 1, FPOps: 2,
+				Store: true, Wrap: 1024,
+				Region: Region{Home: OwnerThread, Base: 1 << 24, ElemBytes: 8},
+			}}},
+			Phase{Blocks: []Block{&Broadcast{
+				PC: pcWater + 0x100, Elems: perProc * waterPairs, FPOps: 2,
+				Region: Region{Home: OwnerThread, Base: 1 << 26, ElemBytes: 8},
+			}}},
+			Phase{Blocks: []Block{&Stride{
+				PC: pcWater + 0x200, Count: perProc, FPOps: 1, Store: true,
+				Region: Region{Home: OwnerThread, Base: 1 << 24, ElemBytes: 8},
+			}}},
+		)
+		if ts%3 == 2 {
+			prog.Phases = append(prog.Phases, Phase{Blocks: []Block{&Reduction{
+				PC: pcWater + 0x300, Elems: p.Molecules, FPOps: 1,
+				Base: 1 << 28, ElemBytes: 8,
+				Accum: Region{Home: 0, Base: 1 << 30},
+			}}})
+		}
+	}
+	return prog
+}
+
+// Threads implements Workload.
+func (w Water) Threads(n int, sz Size, seed uint64) []isa.Thread {
+	return w.program(n, sz).Threads(n, seed)
+}

@@ -22,6 +22,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"dsmphase/internal/isa"
 )
@@ -80,19 +81,84 @@ type Workload interface {
 	Threads(n int, sz Size, seed uint64) []isa.Thread
 }
 
-var registry = map[string]Workload{}
+// The registry holds the built-in workloads (registered from init
+// functions, definition hash 0) and any dynamically registered ones
+// (DSL specs and ingested traces, keyed by their definition hash). A
+// mutex guards it because the coordinator service registers dynamic
+// workloads from request-handling goroutines.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Workload{}
+	// defHashes maps dynamically registered names to the hash of their
+	// canonical definition; built-ins are absent (hash 0).
+	defHashes = map[string]uint64{}
+)
 
-// Register adds a workload to the registry (called from init functions).
+// Register adds a built-in workload to the registry (called from init
+// functions).
 func Register(w Workload) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
 	if _, dup := registry[w.Name()]; dup {
 		panic("workloads: duplicate registration of " + w.Name())
 	}
 	registry[w.Name()] = w
 }
 
+// RegisterDynamic adds a runtime-defined workload (a parsed DSL spec or
+// an ingested trace) under its definition hash. Re-registering the same
+// name with the same hash is a no-op, so every worker process and every
+// repeat submission can load the same spec file idempotently; the same
+// name with a different definition — or colliding with a built-in — is
+// an error, because live jobs and result caches key on the name's
+// fingerprint staying stable. Bump the workload's name to change its
+// definition.
+func RegisterDynamic(w Workload, hash uint64) error {
+	if hash == 0 {
+		return fmt.Errorf("workloads: dynamic workload %q needs a non-zero definition hash", w.Name())
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if prev, ok := defHashes[w.Name()]; ok {
+		if prev == hash {
+			return nil
+		}
+		return fmt.Errorf("workloads: %q is already registered with a different definition (hash %016x vs %016x); rename the workload to change its definition", w.Name(), prev, hash)
+	}
+	if _, builtin := registry[w.Name()]; builtin {
+		return fmt.Errorf("workloads: %q collides with a built-in workload", w.Name())
+	}
+	registry[w.Name()] = w
+	defHashes[w.Name()] = hash
+	return nil
+}
+
+// DefinitionHash returns the definition hash a dynamic workload was
+// registered under, or 0 for built-ins and unknown names. The harness
+// folds non-zero hashes into plan fingerprints so two specs sharing a
+// name but not a definition can never satisfy each other's artifacts.
+func DefinitionHash(name string) uint64 {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return defHashes[name]
+}
+
+// removeDynamic drops a dynamically registered workload. Test-only: the
+// production registry is append-only by design.
+func removeDynamic(name string) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, ok := defHashes[name]; ok {
+		delete(defHashes, name)
+		delete(registry, name)
+	}
+}
+
 // ByName looks a workload up.
 func ByName(name string) (Workload, error) {
+	registryMu.RLock()
 	w, ok := registry[name]
+	registryMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
 	}
@@ -101,6 +167,8 @@ func ByName(name string) (Workload, error) {
 
 // Names returns the registered workload names, sorted.
 func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
 	out := make([]string, 0, len(registry))
 	for n := range registry {
 		out = append(out, n)
@@ -112,6 +180,8 @@ func Names() []string {
 // All returns the registered workloads in name order.
 func All() []Workload {
 	names := Names()
+	registryMu.RLock()
+	defer registryMu.RUnlock()
 	out := make([]Workload, len(names))
 	for i, n := range names {
 		out[i] = registry[n]

@@ -27,11 +27,11 @@ func drain(t *testing.T, th isa.Thread, maxInstr int) []isa.Inst {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	want := []string{"art", "equake", "fmm", "fsstencil", "lu", "ocean", "pagethrash", "radix"}
+	want := []string{"art", "barnes", "equake", "fmm", "fsstencil", "lu", "ocean", "pagethrash", "radix", "water"}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("Names() = %v, want %v", names, want)
 	}
-	if len(All()) != 8 {
+	if len(All()) != 10 {
 		t.Errorf("All() has %d workloads", len(All()))
 	}
 	if _, err := ByName("lu"); err != nil {
