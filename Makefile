@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check bench bench-json bench-smoke bench-check golden golden-update tuning-smoke shard-smoke service-smoke workload-smoke workload-smoke-update coherence-race ci
+.PHONY: build test vet fmt fmt-check bench bench-json bench-smoke bench-check golden golden-update tuning-smoke shard-smoke service-smoke workload-smoke workload-smoke-update fuzz-smoke coherence-race ci
 
 build:
 	$(GO) build ./...
@@ -142,10 +142,22 @@ workload-smoke:
 workload-smoke-update:
 	$(GO) run ./cmd/experiments $(WORKLOAD_SMOKE_FLAGS) > cmd/experiments/testdata/workload_smoke.golden
 
+# Spec-fuzzer smoke: a short fixed-seed, fixed-budget campaign over
+# the committed adversarial seeds. Hard invariant violations (compile
+# panics, nondeterministic streams, hash instability) fail the gate;
+# the campaign must also still find at least one detector-degrading
+# spec — the capability the committed examples/fuzz_found corpus was
+# born from. DESIGN.md §14 describes the operators and oracles.
+fuzz-smoke:
+	@tmp=$$(mktemp) && trap 'rm -f "$$tmp"' EXIT && \
+	$(GO) run ./cmd/wdlfuzz -budget 40 -seed 1 -out "" -fail-on-invariant > "$$tmp" && \
+	grep -q '\[detector\]' "$$tmp" || { echo "fuzz-smoke: no detector finding in fixed-seed campaign" >&2; cat "$$tmp" >&2; exit 1; } && \
+	echo "fuzz-smoke: campaign clean, detector finding reproduced"
+
 # The protocol seam's dedicated gate: both coherence backends (the
 # conformance suite included) and the machine layer that selects
 # between them, under the race detector.
 coherence-race:
 	$(GO) test -race ./internal/coherence/... ./internal/machine/...
 
-ci: build fmt-check vet test coherence-race bench bench-check golden tuning-smoke shard-smoke workload-smoke service-smoke
+ci: build fmt-check vet test coherence-race bench bench-check golden tuning-smoke shard-smoke workload-smoke fuzz-smoke service-smoke

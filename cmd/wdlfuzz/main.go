@@ -1,0 +1,214 @@
+// Command wdlfuzz hunts the .wdl workload-spec space for scenarios
+// that destabilize the phase detector, blow one coherence protocol up
+// relative to the other, or break hard pipeline invariants.
+//
+//	wdlfuzz -budget 200 -seed 1 -out examples/fuzz_found
+//	wdlfuzz -budget 40 -fail-on-invariant            # CI smoke gate
+//	wdlfuzz -sweep 6 -format markdown                # spec-family CoV study
+//	wdlfuzz -budget 100 my_seeds/*.wdl               # custom seed corpus
+//
+// Hunt mode (the default) runs a bounded deterministic campaign: each
+// round mutates a corpus spec, compiles it through the real machine
+// and coherence stack, scores it against the stable lu baseline, and
+// shrinks every finding to a minimal reproducer written to -out. The
+// same -seed and -budget always reproduce the same findings,
+// byte-for-byte.
+//
+// Sweep mode (-sweep N) generates a family of N valid mutants from the
+// seed corpus, registers them as dynamic workloads, and runs a CoV
+// study over the whole family — plus the lu baseline for contrast —
+// through the standard report encoders, turning the fuzzer into a
+// generator of workload panels beyond the paper's fixed eight apps.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dsmphase"
+	"dsmphase/internal/wdlfuzz"
+	"dsmphase/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Stderr, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wdlfuzz:", err)
+		os.Exit(1)
+	}
+}
+
+var defaultSeeds = []string{
+	filepath.Join("examples", "adversarial_phases", "oscillate.wdl"),
+	filepath.Join("examples", "adversarial_phases", "drift.wdl"),
+}
+
+func run(stdout, stderr *os.File, args []string) error {
+	fs := flag.NewFlagSet("wdlfuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		budget      = fs.Int("budget", 200, "mutants to evaluate in hunt mode")
+		seed        = fs.Uint64("seed", 1, "campaign seed; same seed + budget reproduces identical findings")
+		out         = fs.String("out", "fuzz_found", "directory minimized reproducer .wdl files are written to")
+		interval    = fs.Uint64("interval", 2000, "detector probe sampling interval (instructions)")
+		minIvals    = fs.Int("min-intervals", 8, "recorded intervals required to score a mutant")
+		detFactor   = fs.Float64("detector-factor", 2, "flag specs whose BBV switch-rate reaches this multiple of the lu baseline")
+		covFactor   = fs.Float64("cov-factor", 3, "flag specs whose per-phase CPI CoV reaches this multiple of the lu baseline")
+		blowFactor  = fs.Float64("blowup-factor", 32, "flag specs whose dir-vs-ivy activity ratio reaches this")
+		shrinkTries = fs.Int("shrink-tries", 200, "oracle calls spent minimizing each finding")
+		failOnViol  = fs.Bool("fail-on-invariant", false, "exit nonzero if any hard invariant violation is found (CI gate)")
+		sweep       = fs.Int("sweep", 0, "sweep mode: generate a family of N mutants and run a CoV study over it")
+		format      = fs.String("format", "text", "sweep report encoder: text, csv, json or markdown")
+		verbose     = fs.Bool("v", false, "log campaign progress to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	paths := fs.Args()
+	if len(paths) == 0 {
+		paths = defaultSeeds
+	}
+	var seeds []wdlfuzz.Seed
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		sw, err := workloads.ParseSpec(src)
+		if err != nil {
+			return fmt.Errorf("seed %s: %w", p, err)
+		}
+		seeds = append(seeds, wdlfuzz.Seed{Name: sw.Name(), Src: src})
+	}
+
+	if *sweep > 0 {
+		return runSweep(stdout, stderr, seeds, *sweep, *seed, *interval, *format)
+	}
+
+	cfg := wdlfuzz.Config{
+		Seed:           *seed,
+		Budget:         *budget,
+		Interval:       *interval,
+		MinIntervals:   *minIvals,
+		DetectorFactor: *detFactor,
+		CoVFactor:      *covFactor,
+		BlowupFactor:   *blowFactor,
+		ShrinkTries:    *shrinkTries,
+	}
+	if *verbose {
+		cfg.Log = func(f string, a ...any) { fmt.Fprintf(stderr, "wdlfuzz: "+f+"\n", a...) }
+	}
+	res, err := wdlfuzz.Run(seeds, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "campaign: seed %d, budget %d: %d evaluated, %d invalid, %d skipped, %d findings (corpus %d)\n",
+		*seed, *budget, res.Evaluated, res.Invalid, res.Skipped, len(res.Findings), res.Corpus)
+	fmt.Fprintf(stdout, "baseline lu: switch-rate %.3f, cov %.3f over %d intervals\n",
+		res.Baseline.SwitchRate, res.Baseline.CoV, res.Baseline.Intervals)
+	violations := 0
+	for _, f := range res.Findings {
+		if f.Kind == "invariant" {
+			violations++
+		}
+		fmt.Fprintf(stdout, "  [%s] %s: %s\n", f.Kind, f.Name, f.Detail)
+		if *out != "" {
+			if err := writeFinding(*out, f); err != nil {
+				return err
+			}
+		}
+	}
+	if *out != "" && len(res.Findings) > 0 {
+		fmt.Fprintf(stdout, "wrote %d reproducers to %s\n", len(res.Findings), *out)
+	}
+	if *failOnViol && violations > 0 {
+		return fmt.Errorf("%d hard invariant violation(s) found", violations)
+	}
+	return nil
+}
+
+// writeFinding persists one minimized reproducer as indented JSON so
+// the committed corpus stays diff-reviewable.
+func writeFinding(dir string, f wdlfuzz.Finding) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var buf []byte
+	var generic any
+	if err := json.Unmarshal(f.Source, &generic); err == nil {
+		if b, err := json.MarshalIndent(generic, "", "  "); err == nil {
+			buf = append(b, '\n')
+		}
+	}
+	if buf == nil {
+		buf = f.Source
+	}
+	return os.WriteFile(filepath.Join(dir, f.Name+".wdl"), buf, 0o644)
+}
+
+// runSweep generates a family of valid mutants, registers them, and
+// runs a detector CoV study over family + lu baseline.
+func runSweep(stdout, stderr *os.File, seeds []wdlfuzz.Seed, n int, seed, interval uint64, format string) error {
+	m := wdlfuzz.NewMutator(seed)
+	apps := []string{"lu"}
+	var family int
+	for attempts := 0; family < n && attempts < 50*n; attempts++ {
+		base := seeds[attempts%len(seeds)]
+		src := base.Src
+		for s := 0; s <= attempts%3; s++ {
+			next, _, err := m.Mutate(src)
+			if err != nil {
+				break
+			}
+			src = next
+		}
+		if wdlfuzz.EstimateWork(src) > 4_000_000 {
+			continue
+		}
+		name := fmt.Sprintf("%s-m%d", base.Name, family+1)
+		renamed, err := wdlfuzz.RenameSpec(src, name)
+		if err != nil {
+			continue
+		}
+		sw, err := workloads.ParseSpec(renamed)
+		if err != nil {
+			continue
+		}
+		if len(wdlfuzz.CheckInvariants(sw, renamed)) > 0 {
+			fmt.Fprintf(stderr, "wdlfuzz: sweep: %s violates invariants, skipping\n", name)
+			continue
+		}
+		if err := sw.Register(); err != nil {
+			continue
+		}
+		apps = append(apps, name)
+		family++
+	}
+	if family == 0 {
+		return fmt.Errorf("sweep: no valid mutants generated")
+	}
+
+	spec := dsmphase.NewSpec(
+		dsmphase.WithApps(apps...),
+		dsmphase.WithProcs(2),
+		dsmphase.WithDetectors(dsmphase.DetectorBBV),
+		dsmphase.WithSize(dsmphase.SizeTest),
+		dsmphase.WithInterval(interval*2),
+		dsmphase.WithSeed(1),
+	)
+	enc, err := dsmphase.NewEncoder(format, fmt.Sprintf("Spec-family CoV study (%d mutants, seed %d)", family, seed))
+	if err != nil {
+		return err
+	}
+	rep := spec.Run(dsmphase.EngineOptions{Parallel: 1})
+	for _, r := range rep.CellResults() {
+		if r.Err != nil {
+			fmt.Fprintf(stderr, "wdlfuzz: sweep: skipping %s: %v\n", r.Cell.Label(), r.Err)
+		}
+	}
+	return enc.Encode(stdout, rep)
+}

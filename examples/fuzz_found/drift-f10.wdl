@@ -1,0 +1,23 @@
+{
+  "description": "adversarial gradual drift: every phase execution grows and shifts the working set a little, so intervals never quite repeat and phase tables fragment",
+  "name": "drift-f10",
+  "phases": [
+    {
+      "blocks": [
+        {
+          "count": 32,
+          "count_step": 9,
+          "kind": "random",
+          "span": 1
+        },
+        {
+          "count": 32,
+          "count_step": 4,
+          "kind": "random",
+          "span": 1
+        }
+      ],
+      "repeat": 32
+    }
+  ]
+}

@@ -1,0 +1,18 @@
+{
+  "description": "adversarial gradual drift: every phase execution grows and shifts the working set a little, so intervals never quite repeat and phase tables fragment",
+  "name": "drift-f13",
+  "phases": [
+    {
+      "blocks": [
+        {
+          "count_step": 1,
+          "kind": "random",
+          "span": 512,
+          "spread": true,
+          "store_every": 1
+        }
+      ],
+      "repeat": 32
+    }
+  ]
+}

@@ -1,0 +1,27 @@
+{
+  "description": "adversarial rapid oscillation: compute and shared-write bursts alternate at roughly the sampling interval, so a footprint table keeps flipping between two signatures",
+  "name": "oscillate-f2",
+  "phases": [
+    {
+      "blocks": [
+        {
+          "count": 192,
+          "fp_ops": 1,
+          "int_ops": 2,
+          "kind": "stride",
+          "store": true
+        }
+      ]
+    },
+    {
+      "blocks": [
+        {
+          "count": 128,
+          "kind": "random",
+          "span": 1
+        }
+      ]
+    }
+  ],
+  "repeat": 12
+}

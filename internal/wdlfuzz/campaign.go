@@ -1,0 +1,367 @@
+package wdlfuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"dsmphase/internal/rng"
+	"dsmphase/internal/workloads"
+)
+
+// Campaign: a bounded, deterministic hunt. Seeds form the initial
+// corpus; each round picks a corpus entry, stacks 1..MaxStack
+// mutations, and runs the mutant through the invariant oracle and the
+// two differential probes. Findings are shrunk to a fixpoint, renamed
+// deterministically, and deduped by minimized-source hash, so the same
+// (seeds, Config) always produces byte-identical reproducers.
+
+// Seed is one corpus entry: a named .wdl source.
+type Seed struct {
+	Name string
+	Src  []byte
+}
+
+// Config bounds and parameterizes a campaign. Zero values select the
+// defaults noted on each field.
+type Config struct {
+	Seed   uint64 // mutation stream seed (default 1)
+	Budget int    // mutants evaluated (default 100)
+
+	MaxStack int // mutations stacked per mutant (default 3)
+
+	Interval     uint64 // detector probe sampling interval (default 2000)
+	MinIntervals int    // intervals required to score a mutant (default 8)
+
+	// DetectorFactor flags a mutant whose BBV switch-rate reaches this
+	// multiple of the baseline's (default 2). CoVFactor does the same
+	// for the per-phase CPI CoV — the CoV-curve collapse axis
+	// (default 3).
+	DetectorFactor float64
+	CoVFactor      float64
+
+	// BlowupFactor flags a directory-vs-IVY activity-rate ratio at or
+	// above it (default 32); BlowupFloor is the absolute events-per-1k
+	// rate the larger side must also clear (default 5), so near-silent
+	// specs don't divide their way into findings.
+	BlowupFactor float64
+	BlowupFloor  float64
+
+	ShrinkTries int // keep() calls per finding minimization (default 200)
+
+	// Baseline overrides the stable reference the detector oracle
+	// compares against; nil computes it from the built-in lu workload.
+	Baseline *DetectorScore
+
+	Log func(format string, args ...any) // optional progress sink
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Budget == 0 {
+		c.Budget = 100
+	}
+	if c.MaxStack == 0 {
+		c.MaxStack = 3
+	}
+	if c.Interval == 0 {
+		c.Interval = 2000
+	}
+	if c.MinIntervals == 0 {
+		c.MinIntervals = 8
+	}
+	if c.DetectorFactor == 0 {
+		c.DetectorFactor = 2
+	}
+	if c.CoVFactor == 0 {
+		c.CoVFactor = 3
+	}
+	if c.BlowupFactor == 0 {
+		c.BlowupFactor = 32
+	}
+	if c.BlowupFloor == 0 {
+		c.BlowupFloor = 5
+	}
+	if c.ShrinkTries == 0 {
+		c.ShrinkTries = 200
+	}
+	if c.Log == nil {
+		c.Log = func(string, ...any) {}
+	}
+	return c
+}
+
+// Finding is one shrunk, renamed reproducer.
+type Finding struct {
+	Kind   string   // "detector", "cov", "protocol", "invariant"
+	Name   string   // deterministic: <seed-name>-f<N>
+	Source []byte   // minimized canonical source (already renamed)
+	Trail  []string // mutation operators that produced the original mutant
+	Detail string   // human-readable: what the oracle measured
+}
+
+// Result summarizes a campaign.
+type Result struct {
+	Evaluated int // mutants generated
+	Invalid   int // mutants rejected by ParseSpec (error-path coverage)
+	Skipped   int // mutants a probe could not score (budget, few intervals)
+	Baseline  DetectorScore
+	Findings  []Finding
+	Corpus    int // live corpus size at exit
+}
+
+// corpusCap bounds the live corpus so a productive campaign doesn't
+// drift arbitrarily far from its seeds.
+const corpusCap = 64
+
+// BaselineLU scores the built-in lu workload — the paper panel's most
+// phase-stable app — as the campaign's stable reference.
+func BaselineLU(interval uint64, minIntervals int) (*DetectorScore, error) {
+	lu, err := workloads.ByName("lu")
+	if err != nil {
+		return nil, err
+	}
+	return ProbeDetector(lu, interval, minIntervals)
+}
+
+// Run executes one deterministic campaign.
+func Run(seeds []Seed, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("wdlfuzz: campaign needs at least one seed spec")
+	}
+	for _, s := range seeds {
+		if _, err := workloads.ParseSpec(s.Src); err != nil {
+			return nil, fmt.Errorf("wdlfuzz: seed %s: %w", s.Name, err)
+		}
+	}
+	base := cfg.Baseline
+	if base == nil {
+		var err error
+		base, err = BaselineLU(cfg.Interval, cfg.MinIntervals)
+		if err != nil {
+			return nil, fmt.Errorf("wdlfuzz: baseline: %w", err)
+		}
+	}
+	cfg.Log("baseline lu: switch-rate %.3f, cov %.3f over %d intervals",
+		base.SwitchRate, base.CoV, base.Intervals)
+
+	type entry struct {
+		name string
+		src  []byte
+	}
+	corpus := make([]entry, 0, corpusCap)
+	for _, s := range seeds {
+		corpus = append(corpus, entry{s.Name, s.Src})
+	}
+
+	res := &Result{Baseline: *base}
+	m := NewMutator(cfg.Seed)
+	r := rng.New(cfg.Seed ^ 0x9E3779B97F4A7C15)
+	seen := map[uint64]bool{} // minimized-source hashes already reported
+	perSeed := map[string]int{}
+
+	record := func(kind, from string, src []byte, trail []string, detail string, keep func([]byte) bool) {
+		min := Shrink(src, keep, cfg.ShrinkTries)
+		perSeed[from]++
+		name := fmt.Sprintf("%s-f%d", from, perSeed[from])
+		renamed, err := setSpecName(min, name)
+		if err != nil {
+			renamed = min
+		}
+		sw, err := workloads.ParseSpec(renamed)
+		if err != nil {
+			// Renaming cannot invalidate a valid spec, but stay safe.
+			res.Findings = append(res.Findings, Finding{kind, name, min, trail, detail})
+			return
+		}
+		if seen[sw.Hash()] {
+			perSeed[from]--
+			return
+		}
+		seen[sw.Hash()] = true
+		cfg.Log("finding %s (%s): %s [%v]", name, kind, detail, trail)
+		res.Findings = append(res.Findings, Finding{kind, name, sw.Source(), trail, detail})
+	}
+
+	for i := 0; i < cfg.Budget; i++ {
+		from := corpus[r.Intn(len(corpus))]
+		src := from.src
+		var trail []string
+		stack := 1 + r.Intn(cfg.MaxStack)
+		for s := 0; s < stack; s++ {
+			next, op, err := m.Mutate(src)
+			if err != nil {
+				break
+			}
+			src, trail = next, append(trail, op)
+		}
+		res.Evaluated++
+
+		if EstimateWork(src) > maxWork {
+			res.Skipped++
+			continue
+		}
+		sw, err := workloads.ParseSpec(src)
+		if err != nil {
+			res.Invalid++
+			continue
+		}
+		if viols := CheckInvariants(sw, src); len(viols) > 0 {
+			v := viols[0]
+			record("invariant", from.name, src, trail, v.String(), keepInvariant(v.Kind))
+			continue
+		}
+
+		score, err := ProbeDetector(sw, cfg.Interval, cfg.MinIntervals)
+		if err != nil {
+			res.Skipped++
+			continue
+		}
+		detTh := cfg.DetectorFactor * base.SwitchRate
+		covTh := cfg.CoVFactor * base.CoV
+		switch {
+		case score.SwitchRate >= detTh:
+			record("detector", from.name, src, trail,
+				fmt.Sprintf("BBV switch-rate %.3f >= %.1fx baseline %.3f", score.SwitchRate, cfg.DetectorFactor, base.SwitchRate),
+				keepDetector(cfg, detTh))
+		case base.CoV > 0 && score.CoV >= covTh && score.Phases >= 2:
+			record("cov", from.name, src, trail,
+				fmt.Sprintf("per-phase CPI CoV %.3f >= %.1fx baseline %.3f", score.CoV, cfg.CoVFactor, base.CoV),
+				keepCoV(cfg, covTh))
+		case score.SwitchRate > 1.2*base.SwitchRate && len(corpus) < corpusCap:
+			// Warmer than baseline but below the bar: keep hunting from it.
+			corpus = append(corpus, entry{from.name, src})
+		}
+
+		pscore, viols, err := ProbeProtocols(sw)
+		if err != nil {
+			res.Skipped++
+			continue
+		}
+		if len(viols) > 0 {
+			record("invariant", from.name, src, trail, viols[0].String(), keepProtocolViolation())
+			continue
+		}
+		if pscore.Blowup() >= cfg.BlowupFactor && maxRate(pscore) >= cfg.BlowupFloor {
+			record("protocol", from.name, src, trail,
+				fmt.Sprintf("dir-vs-ivy blowup %.1fx (dir %.2f, ivy %.2f per 1k)", pscore.Blowup(), pscore.DirRate, pscore.IVYRate),
+				keepProtocol(cfg))
+		} else if pscore.Blowup() >= cfg.BlowupFactor/4 && maxRate(pscore) >= cfg.BlowupFloor && len(corpus) < corpusCap {
+			corpus = append(corpus, entry{from.name, src})
+		}
+	}
+	res.Corpus = len(corpus)
+	sortFindings(res.Findings)
+	return res, nil
+}
+
+func maxRate(s *ProtocolScore) float64 {
+	if s.DirRate > s.IVYRate {
+		return s.DirRate
+	}
+	return s.IVYRate
+}
+
+// keepDetector holds while the shrunk spec still parses, scores, and
+// clears the switch-rate threshold that flagged it.
+func keepDetector(cfg Config, threshold float64) func([]byte) bool {
+	return func(src []byte) bool {
+		sw, err := workloads.ParseSpec(src)
+		if err != nil {
+			return false
+		}
+		if len(CheckInvariants(sw, src)) > 0 {
+			return false
+		}
+		score, err := ProbeDetector(sw, cfg.Interval, cfg.MinIntervals)
+		return err == nil && score.SwitchRate >= threshold
+	}
+}
+
+func keepCoV(cfg Config, threshold float64) func([]byte) bool {
+	return func(src []byte) bool {
+		sw, err := workloads.ParseSpec(src)
+		if err != nil {
+			return false
+		}
+		if len(CheckInvariants(sw, src)) > 0 {
+			return false
+		}
+		score, err := ProbeDetector(sw, cfg.Interval, cfg.MinIntervals)
+		return err == nil && score.CoV >= threshold && score.Phases >= 2
+	}
+}
+
+func keepProtocol(cfg Config) func([]byte) bool {
+	return func(src []byte) bool {
+		sw, err := workloads.ParseSpec(src)
+		if err != nil {
+			return false
+		}
+		score, viols, err := ProbeProtocols(sw)
+		if err != nil || len(viols) > 0 {
+			return false
+		}
+		return score.Blowup() >= cfg.BlowupFactor && maxRate(score) >= cfg.BlowupFloor
+	}
+}
+
+// keepInvariant holds while the spec still violates the same invariant
+// kind.
+func keepInvariant(kind string) func([]byte) bool {
+	return func(src []byte) bool {
+		sw, err := workloads.ParseSpec(src)
+		if err != nil {
+			return false
+		}
+		for _, v := range CheckInvariants(sw, src) {
+			if v.Kind == kind {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func keepProtocolViolation() func([]byte) bool {
+	return func(src []byte) bool {
+		sw, err := workloads.ParseSpec(src)
+		if err != nil {
+			return false
+		}
+		_, viols, err := ProbeProtocols(sw)
+		return err == nil && len(viols) > 0
+	}
+}
+
+// RenameSpec rewrites the spec's name field, leaving everything else
+// untouched. Campaign findings and sweep-family members get their
+// deterministic names through it.
+func RenameSpec(src []byte, name string) ([]byte, error) {
+	return setSpecName(src, name)
+}
+
+// setSpecName rewrites the spec's name field.
+func setSpecName(src []byte, name string) ([]byte, error) {
+	var spec map[string]any
+	if err := json.Unmarshal(src, &spec); err != nil {
+		return nil, err
+	}
+	spec["name"] = name
+	return json.Marshal(spec)
+}
+
+// sortFindings orders findings by severity class then name, so report
+// order is stable however the campaign interleaved discoveries.
+func sortFindings(fs []Finding) {
+	rank := map[string]int{"invariant": 0, "detector": 1, "cov": 2, "protocol": 3}
+	sort.SliceStable(fs, func(i, j int) bool {
+		if rank[fs[i].Kind] != rank[fs[j].Kind] {
+			return rank[fs[i].Kind] < rank[fs[j].Kind]
+		}
+		return fs[i].Name < fs[j].Name
+	})
+}

@@ -1,0 +1,215 @@
+package wdlfuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dsmphase/internal/workloads"
+)
+
+func examplePath(t *testing.T, rel string) string {
+	t.Helper()
+	return filepath.Join("..", "..", "examples", rel)
+}
+
+func readExample(rel string) ([]byte, error) {
+	return os.ReadFile(filepath.Join("..", "..", "examples", rel))
+}
+
+func loadExample(t *testing.T, rel string) []byte {
+	t.Helper()
+	src, err := os.ReadFile(examplePath(t, rel))
+	if err != nil {
+		t.Fatalf("reading %s: %v", rel, err)
+	}
+	return src
+}
+
+// TestSeedCorpusInvariants: every committed .wdl must satisfy the hard
+// invariant oracle — the fuzzer's seed corpus is clean by definition.
+func TestSeedCorpusInvariants(t *testing.T) {
+	root := filepath.Join("..", "..", "examples")
+	var found int
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || filepath.Ext(path) != ".wdl" {
+			return err
+		}
+		found++
+		sw, err := workloads.LoadSpecFile(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			return nil
+		}
+		src, _ := os.ReadFile(path)
+		for _, v := range CheckInvariants(sw, src) {
+			t.Errorf("%s: invariant violation: %s", path, v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found < 3 {
+		t.Fatalf("walked only %d .wdl files, corpus missing?", found)
+	}
+}
+
+// TestMutatorDeterminism: identical seeds produce identical mutation
+// sequences; the campaign's reproducibility rests on this.
+func TestMutatorDeterminism(t *testing.T) {
+	src := loadExample(t, "adversarial_phases/oscillate.wdl")
+	run := func(seed uint64) [][]byte {
+		m := NewMutator(seed)
+		cur := src
+		var out [][]byte
+		for i := 0; i < 20; i++ {
+			next, _, err := m.Mutate(cur)
+			if err != nil {
+				t.Fatalf("mutate %d: %v", i, err)
+			}
+			out = append(out, next)
+			if _, err := workloads.ParseSpec(next); err == nil {
+				cur = next
+			}
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("mutation %d differs between identically-seeded runs", i)
+		}
+	}
+}
+
+// TestShrinkMinimizes: shrinking under a simple structural predicate
+// strips everything the predicate doesn't need, deterministically.
+func TestShrinkMinimizes(t *testing.T) {
+	src := loadExample(t, "adversarial_phases/oscillate.wdl")
+	keep := func(s []byte) bool {
+		sw, err := workloads.ParseSpec(s)
+		if err != nil {
+			return false
+		}
+		var spec struct {
+			Phases []struct {
+				Blocks []struct {
+					Kind string `json:"kind"`
+				} `json:"blocks"`
+			} `json:"phases"`
+		}
+		if err := json.Unmarshal(sw.Source(), &spec); err != nil {
+			return false
+		}
+		for _, ph := range spec.Phases {
+			for _, b := range ph.Blocks {
+				if b.Kind == "share" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !keep(src) {
+		t.Fatal("seed does not satisfy predicate")
+	}
+	min1 := Shrink(src, keep, 300)
+	min2 := Shrink(src, keep, 300)
+	if !bytes.Equal(min1, min2) {
+		t.Fatal("shrink is not deterministic")
+	}
+	if !keep(min1) {
+		t.Fatal("shrunk spec no longer satisfies predicate")
+	}
+	if len(min1) >= len(src) {
+		t.Fatalf("shrink did not reduce: %d -> %d bytes", len(src), len(min1))
+	}
+	var spec map[string]any
+	if err := json.Unmarshal(min1, &spec); err != nil {
+		t.Fatal(err)
+	}
+	phases := spec["phases"].([]any)
+	if len(phases) != 1 {
+		t.Fatalf("expected single surviving phase, got %d", len(phases))
+	}
+	blocks := phases[0].(map[string]any)["blocks"].([]any)
+	if len(blocks) != 1 {
+		t.Fatalf("expected single surviving block, got %d", len(blocks))
+	}
+}
+
+// TestBaselineLU: the stable reference must actually be stable — a low
+// switch-rate with long runs — or every comparison is meaningless.
+func TestBaselineLU(t *testing.T) {
+	base, err := BaselineLU(2000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.SwitchRate > 0.5 {
+		t.Fatalf("lu baseline switch-rate %.3f too high to serve as stable reference", base.SwitchRate)
+	}
+	if base.Intervals < 8 {
+		t.Fatalf("lu baseline recorded only %d intervals", base.Intervals)
+	}
+}
+
+// TestCampaignDeterministic: the same seeds and Config produce
+// byte-identical findings, end to end through mutation, probing,
+// shrinking and renaming.
+func TestCampaignDeterministic(t *testing.T) {
+	seeds := []Seed{
+		{"oscillate", loadExample(t, "adversarial_phases/oscillate.wdl")},
+		{"drift", loadExample(t, "adversarial_phases/drift.wdl")},
+	}
+	cfg := Config{Seed: 3, Budget: 12, ShrinkTries: 40}
+	a, err := Run(seeds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(seeds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Evaluated != cfg.Budget || b.Evaluated != cfg.Budget {
+		t.Fatalf("evaluated %d/%d, want %d", a.Evaluated, b.Evaluated, cfg.Budget)
+	}
+	if len(a.Findings) != len(b.Findings) {
+		t.Fatalf("finding counts differ: %d vs %d", len(a.Findings), len(b.Findings))
+	}
+	for i := range a.Findings {
+		if a.Findings[i].Name != b.Findings[i].Name || !bytes.Equal(a.Findings[i].Source, b.Findings[i].Source) {
+			t.Fatalf("finding %d differs between identically-seeded campaigns", i)
+		}
+	}
+	// Every finding must itself be a valid, invariant-clean spec.
+	for _, f := range a.Findings {
+		sw, err := workloads.ParseSpec(f.Source)
+		if err != nil {
+			t.Errorf("finding %s does not parse: %v", f.Name, err)
+			continue
+		}
+		if f.Kind != "invariant" {
+			if viols := CheckInvariants(sw, f.Source); len(viols) > 0 {
+				t.Errorf("finding %s (%s) violates invariants: %v", f.Name, f.Kind, viols)
+			}
+		}
+	}
+}
+
+// TestEstimateWorkGuards: the work estimator must pass every committed
+// seed and reject an astronomically-inflated mutant.
+func TestEstimateWorkGuards(t *testing.T) {
+	for _, rel := range []string{"adversarial_phases/oscillate.wdl", "adversarial_phases/drift.wdl"} {
+		if w := EstimateWork(loadExample(t, rel)); w <= 0 || w > maxWork {
+			t.Errorf("%s: estimated work %.0f outside (0, %d]", rel, w, int(maxWork))
+		}
+	}
+	huge := []byte(`{"name":"huge","description":"x","repeat":1000000,
+		"phases":[{"repeat":1000000,"blocks":[{"kind":"stride","count":1000000}]}]}`)
+	if w := EstimateWork(huge); w <= maxWork {
+		t.Errorf("inflated spec estimated at %.0f, want > %d", w, int(maxWork))
+	}
+}

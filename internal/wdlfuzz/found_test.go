@@ -1,0 +1,67 @@
+package wdlfuzz
+
+import (
+	"testing"
+
+	"dsmphase/internal/workloads"
+)
+
+// TestFuzzFoundReproducers pins the committed fuzzer-found corpus:
+// every reproducer under examples/fuzz_found/ must still parse, hold
+// the hard invariants, and cause the degradation that got it flagged.
+// If a detector or protocol change legitimately fixes one of these
+// pathologies, regenerate the corpus (see examples/fuzz_found/README)
+// rather than loosening the bounds.
+func TestFuzzFoundReproducers(t *testing.T) {
+	base, err := BaselineLU(2000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probe := func(t *testing.T, rel string) *workloads.SpecWorkload {
+		t.Helper()
+		src := loadExample(t, "fuzz_found/"+rel)
+		sw, err := workloads.ParseSpec(src)
+		if err != nil {
+			t.Fatalf("%s: %v", rel, err)
+		}
+		for _, v := range CheckInvariants(sw, src) {
+			t.Fatalf("%s: invariant violation: %s", rel, v)
+		}
+		return sw
+	}
+
+	// The acceptance bar: ≥2× the lu baseline BBV switch-rate.
+	for _, rel := range []string{"oscillate-f2.wdl", "drift-f10.wdl"} {
+		t.Run(rel, func(t *testing.T) {
+			sw := probe(t, rel)
+			score, err := ProbeDetector(sw, 2000, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if min := 2 * base.SwitchRate; score.SwitchRate < min {
+				t.Errorf("switch-rate %.3f below 2x lu baseline %.3f", score.SwitchRate, min)
+			}
+		})
+	}
+
+	// drift-f13 is protocol-pathological: page-granular IVY blows up
+	// relative to the line-granular directory.
+	t.Run("drift-f13.wdl", func(t *testing.T) {
+		sw := probe(t, "drift-f13.wdl")
+		score, viols, err := ProbeProtocols(sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range viols {
+			t.Errorf("protocol invariant violation: %s", v)
+		}
+		if score.Blowup() < 32 {
+			t.Errorf("dir-vs-ivy blowup %.1fx below the 32x bar (dir %.2f, ivy %.2f per 1k)",
+				score.Blowup(), score.DirRate, score.IVYRate)
+		}
+		if score.IVYRate < score.DirRate {
+			t.Errorf("expected IVY to be the pathological side (ivy %.2f <= dir %.2f)", score.IVYRate, score.DirRate)
+		}
+	})
+}

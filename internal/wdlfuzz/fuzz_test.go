@@ -1,0 +1,84 @@
+package wdlfuzz
+
+import (
+	"testing"
+
+	"dsmphase/internal/workloads"
+)
+
+// Native fuzz targets. Under plain `go test` only the committed seed
+// corpus runs, so these double as regression tests; `go test -fuzz`
+// turns them into an open-ended hunt with the same oracles the
+// campaign uses.
+
+func fuzzSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	var out [][]byte
+	for _, rel := range []string{
+		"adversarial_phases/oscillate.wdl",
+		"adversarial_phases/drift.wdl",
+	} {
+		src, err := readExample(rel)
+		if err != nil {
+			f.Fatalf("seed %s: %v", rel, err)
+		}
+		out = append(out, src)
+	}
+	return out
+}
+
+// FuzzParseSpec: any byte string either fails ParseSpec with a clean
+// error or yields a spec that satisfies every hard invariant.
+func FuzzParseSpec(f *testing.F) {
+	for _, src := range fuzzSeeds(f) {
+		f.Add(src)
+	}
+	f.Add([]byte(`{"name":"t","description":"d","phases":[{"blocks":[{"kind":"stride","count":4}]}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sw, err := workloads.ParseSpec(data)
+		if err != nil {
+			return // clean rejection is a pass
+		}
+		if EstimateWork(data) > maxWork {
+			t.Skip("mutant too large to drain")
+		}
+		for _, v := range CheckInvariants(sw, data) {
+			t.Errorf("invariant violation: %s", v)
+		}
+	})
+}
+
+// FuzzMutate: the mutation engine, applied to any parseable input,
+// must produce mutants that either fail validation cleanly or satisfy
+// the hard invariants — and the engine itself must never panic.
+func FuzzMutate(f *testing.F) {
+	for _, src := range fuzzSeeds(f) {
+		f.Add(src, uint64(1))
+		f.Add(src, uint64(42))
+	}
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		if _, err := workloads.ParseSpec(data); err != nil {
+			return
+		}
+		m := NewMutator(seed)
+		src := data
+		for i := 0; i < 3; i++ {
+			next, _, err := m.Mutate(src)
+			if err != nil {
+				return
+			}
+			src = next
+		}
+		sw, err := workloads.ParseSpec(src)
+		if err != nil {
+			return // mutants may validate-fail; they must do so cleanly
+		}
+		if EstimateWork(src) > maxWork {
+			t.Skip("mutant too large to drain")
+		}
+		for _, v := range CheckInvariants(sw, src) {
+			t.Errorf("invariant violation after mutation: %s", v)
+		}
+	})
+}

@@ -1,0 +1,218 @@
+// Package wdlfuzz mutates .wdl workload specs to hunt scenarios that
+// destabilize the phase detector, blow up one coherence protocol
+// relative to the other, or break hard pipeline invariants. The three
+// layers — a mutation engine over the generic JSON form of a spec,
+// differential oracles that compile mutants through the real machine/
+// coherence stack, and a greedy minimizer — compose into deterministic
+// bounded campaigns (see Campaign) surfaced by cmd/wdlfuzz.
+package wdlfuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"dsmphase/internal/rng"
+)
+
+// Mutator applies single structural or parameter mutations to spec
+// sources. All choices are drawn from an internal/rng stream, and all
+// JSON-object iteration goes through sorted keys, so a Mutator seeded
+// identically produces the identical mutation sequence on every
+// machine — the property the campaign's reproducibility rests on.
+type Mutator struct {
+	r *rng.Rng
+}
+
+// NewMutator returns a deterministic mutator.
+func NewMutator(seed uint64) *Mutator { return &Mutator{r: rng.New(seed)} }
+
+// candidate is one concrete applicable mutation.
+type candidate struct {
+	name  string
+	apply func()
+}
+
+// Mutate applies one randomly chosen mutation to the spec source and
+// returns the mutated source plus the operator name (for finding
+// trails). The result is not guaranteed to validate — the caller
+// filters through ParseSpec, and "mutant that no longer parses" is
+// itself useful error-path coverage.
+func (m *Mutator) Mutate(src []byte) ([]byte, string, error) {
+	var spec map[string]any
+	if err := json.Unmarshal(src, &spec); err != nil {
+		return nil, "", fmt.Errorf("wdlfuzz: mutate: %w", err)
+	}
+	cands := m.collect(spec)
+	if len(cands) == 0 {
+		return nil, "", fmt.Errorf("wdlfuzz: no mutation sites in spec")
+	}
+	c := cands[m.r.Intn(len(cands))]
+	c.apply()
+	out, err := json.Marshal(spec)
+	if err != nil {
+		return nil, "", fmt.Errorf("wdlfuzz: mutate: %w", err)
+	}
+	return out, c.name, nil
+}
+
+// collect enumerates every applicable mutation site in deterministic
+// order: phase structure first, then per-block parameter tweaks.
+func (m *Mutator) collect(spec map[string]any) []candidate {
+	var cands []candidate
+	phases, _ := spec["phases"].([]any)
+
+	// Spec-level repeat: cycle the whole phase sequence.
+	cands = append(cands, candidate{"spec-repeat", func() {
+		spec["repeat"] = float64(2 + m.r.Intn(4))
+	}})
+
+	for pi := range phases {
+		pi := pi
+		ph, _ := phases[pi].(map[string]any)
+		if ph == nil {
+			continue
+		}
+		cands = append(cands,
+			candidate{fmt.Sprintf("dup-phase@%d", pi), func() {
+				spec["phases"] = insertAt(phases, pi, clone(ph))
+			}},
+			candidate{fmt.Sprintf("phase-repeat@%d", pi), func() {
+				ph["repeat"] = float64(1 + m.r.Intn(8))
+			}},
+			candidate{fmt.Sprintf("toggle-barrier@%d", pi), func() {
+				ph["no_barrier"] = !truthy(ph["no_barrier"])
+			}},
+		)
+		if len(phases) > 1 {
+			cands = append(cands,
+				candidate{fmt.Sprintf("drop-phase@%d", pi), func() {
+					spec["phases"] = removeAt(phases, pi)
+				}},
+				candidate{fmt.Sprintf("swap-phase@%d", pi), func() {
+					pj := (pi + 1) % len(phases)
+					phases[pi], phases[pj] = phases[pj], phases[pi]
+				}},
+			)
+		}
+		blocks, _ := ph["blocks"].([]any)
+		for bi := range blocks {
+			bi := bi
+			blk, _ := blocks[bi].(map[string]any)
+			if blk == nil {
+				continue
+			}
+			cands = append(cands, candidate{fmt.Sprintf("dup-block@%d.%d", pi, bi), func() {
+				ph["blocks"] = insertAt(blocks, bi, clone(blk))
+			}})
+			if len(blocks) > 1 {
+				cands = append(cands, candidate{fmt.Sprintf("drop-block@%d.%d", pi, bi), func() {
+					ph["blocks"] = removeAt(blocks, bi)
+				}})
+			}
+			cands = append(cands, m.blockCands(pi, bi, blk)...)
+		}
+	}
+	return cands
+}
+
+// driftFields are per-repeat drift knobs a mutation may inject even
+// when absent — the gradual-drift axis PR 8's hand-written adversarial
+// specs explored.
+var driftFields = []string{"count_step", "offset_step", "salt_step", "elems_step"}
+
+// blockCands enumerates parameter mutations inside one block.
+func (m *Mutator) blockCands(pi, bi int, blk map[string]any) []candidate {
+	var cands []candidate
+	at := func(op, key string) string { return fmt.Sprintf("%s(%s)@%d.%d", op, key, pi, bi) }
+
+	for _, key := range sortedKeys(blk) {
+		key := key
+		switch v := blk[key].(type) {
+		case float64:
+			if key == "pc" {
+				continue // static PC identity, not behavior
+			}
+			cands = append(cands,
+				candidate{at("grow", key), func() { blk[key] = v * float64(2+m.r.Intn(3)) }},
+				candidate{at("shrink", key), func() { blk[key] = float64(int(v) / 2) }},
+				candidate{at("nudge", key), func() { blk[key] = v + float64(1-2*m.r.Intn(2)) }},
+			)
+		case bool:
+			cands = append(cands, candidate{at("toggle", key), func() { blk[key] = !v }})
+		}
+	}
+	for _, df := range driftFields {
+		df := df
+		cands = append(cands, candidate{at("drift", df), func() {
+			blk[df] = float64(1 + m.r.Intn(16))
+		}})
+	}
+	// Placement churn: pin the block's region home to an explicit node,
+	// or drop the pin. Remote-vs-local homing is the protocol oracle's
+	// main lever.
+	cands = append(cands, candidate{at("home", "region"), func() {
+		reg, _ := blk["region"].(map[string]any)
+		if reg == nil {
+			reg = map[string]any{}
+			blk["region"] = reg
+		}
+		if m.r.Intn(2) == 0 {
+			reg["home"] = float64(m.r.Intn(4))
+		} else {
+			delete(reg, "home")
+		}
+	}})
+	// Sharing degree, meaningful for share blocks and harmlessly
+	// rejected elsewhere.
+	if _, ok := blk["degree"]; ok {
+		cands = append(cands, candidate{at("degree", "degree"), func() {
+			blk["degree"] = float64(2 + m.r.Intn(7))
+		}})
+	}
+	return cands
+}
+
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func truthy(v any) bool { b, _ := v.(bool); return b }
+
+// clone deep-copies a generic JSON value.
+func clone(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(t))
+		for k, e := range t {
+			out[k] = clone(e)
+		}
+		return out
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = clone(e)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+func insertAt(s []any, i int, v any) []any {
+	out := make([]any, 0, len(s)+1)
+	out = append(out, s[:i+1]...)
+	out = append(out, v)
+	return append(out, s[i+1:]...)
+}
+
+func removeAt(s []any, i int) []any {
+	out := make([]any, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	return append(out, s[i+1:]...)
+}

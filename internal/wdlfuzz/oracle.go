@@ -1,0 +1,136 @@
+package wdlfuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"dsmphase/internal/isa"
+	"dsmphase/internal/workloads"
+)
+
+// Hard invariant oracle: properties every spec that parses must hold,
+// however hostile its parameters. A violation here is a bug in the
+// pipeline (or a determinism leak), not an interesting workload.
+
+// Violation is one hard invariant break found in a mutant.
+type Violation struct {
+	Kind   string // "panic", "nondeterministic", "barrier-skew", "hash-unstable"
+	Detail string
+}
+
+func (v Violation) String() string { return v.Kind + ": " + v.Detail }
+
+// drainCap bounds the instructions drained per thread while checking
+// invariants, so a mutant that inflates repeat counts cannot stall the
+// campaign. Streams truncated at the cap still check determinism (both
+// drains truncate identically); barrier agreement is skipped.
+const drainCap = 2_000_000
+
+// CheckInvariants compiles the parsed spec at a small geometry and
+// checks the hard invariants: batch generation must not panic, the
+// instruction stream must be a pure function of (n, size, seed), every
+// thread must emit the same number of barriers, and the definition
+// hash must survive a re-parse of the canonical source and a
+// re-indented copy of the original source. The returned slice is empty
+// for a healthy spec.
+func CheckInvariants(sw *workloads.SpecWorkload, src []byte) []Violation {
+	var out []Violation
+
+	streams, panicMsg, truncated := drainAll(sw, 2, 1)
+	if panicMsg != "" {
+		return append(out, Violation{"panic", panicMsg})
+	}
+	again, panicMsg, _ := drainAll(sw, 2, 1)
+	if panicMsg != "" {
+		return append(out, Violation{"panic", "second drain: " + panicMsg})
+	}
+	for tid := range streams {
+		if !equalInsts(streams[tid], again[tid]) {
+			out = append(out, Violation{"nondeterministic",
+				fmt.Sprintf("thread %d stream differs between identical drains", tid)})
+			break
+		}
+	}
+	if !truncated {
+		barriers := make([]int, len(streams))
+		for tid, st := range streams {
+			for _, in := range st {
+				if in.Op == isa.OpSync {
+					barriers[tid]++
+				}
+			}
+		}
+		for tid := 1; tid < len(barriers); tid++ {
+			if barriers[tid] != barriers[0] {
+				out = append(out, Violation{"barrier-skew",
+					fmt.Sprintf("thread %d emits %d barriers, thread 0 emits %d", tid, barriers[tid], barriers[0])})
+				break
+			}
+		}
+	}
+
+	// Hash stability: the canonical source must round-trip to the same
+	// definition, and re-indenting the original must not move the hash.
+	if re, err := workloads.ParseSpec(sw.Source()); err != nil {
+		out = append(out, Violation{"hash-unstable", "canonical source does not re-parse: " + err.Error()})
+	} else if re.Hash() != sw.Hash() {
+		out = append(out, Violation{"hash-unstable",
+			fmt.Sprintf("canonical re-parse hash %#x != %#x", re.Hash(), sw.Hash())})
+	}
+	// Specs that reference external trace files only parse through
+	// LoadSpecFile; for those, re-indent the canonical (inline-records)
+	// source instead of the original bytes.
+	indentInput := src
+	if _, err := workloads.ParseSpec(src); err != nil {
+		indentInput = sw.Source()
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, indentInput, "", "  "); err == nil {
+		if re, err := workloads.ParseSpec(buf.Bytes()); err != nil {
+			out = append(out, Violation{"hash-unstable", "re-indented source does not re-parse: " + err.Error()})
+		} else if re.Hash() != sw.Hash() {
+			out = append(out, Violation{"hash-unstable",
+				fmt.Sprintf("re-indented source hash %#x != %#x", re.Hash(), sw.Hash())})
+		}
+	}
+	return out
+}
+
+// drainAll drains every thread's batches at (n, SizeTest, seed) with
+// panics recovered and the per-thread instruction count capped.
+func drainAll(sw *workloads.SpecWorkload, n int, seed uint64) (streams [][]isa.Inst, panicMsg string, truncated bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicMsg = fmt.Sprint(r)
+		}
+	}()
+	ths := sw.Threads(n, workloads.SizeTest, seed)
+	streams = make([][]isa.Inst, len(ths))
+	e := isa.NewEmitter(4096)
+	for tid, th := range ths {
+		for len(streams[tid]) < drainCap {
+			e.Reset()
+			if !th.NextBatch(e) {
+				break
+			}
+			streams[tid] = append(streams[tid], e.Take()...)
+		}
+		if len(streams[tid]) >= drainCap {
+			truncated = true
+		}
+	}
+	return streams, "", truncated
+}
+
+func equalInsts(a, b []isa.Inst) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,168 @@
+package wdlfuzz
+
+import (
+	"fmt"
+
+	"dsmphase/internal/coherence"
+	"dsmphase/internal/core"
+	"dsmphase/internal/machine"
+	"dsmphase/internal/stats"
+	"dsmphase/internal/workloads"
+)
+
+// Differential oracles: run a mutant through the real machine and
+// coherence stack and score it against a stable baseline. These do not
+// decide pass/fail — the campaign compares scores across specs.
+
+// probeBudget caps simulated instructions per processor in a probe; a
+// mutant that exceeds it is skipped, not flagged.
+const probeBudget = 4_000_000
+
+// DetectorScore summarizes how the BBV detector behaves on one
+// workload at the behavior-test thresholds (table 16, thBBV 0.05).
+type DetectorScore struct {
+	Intervals  int     // recorded intervals on proc 0
+	SwitchRate float64 // fraction of intervals that change phase ID
+	Distinct   int     // distinct phase IDs
+	LongestRun int     // longest stable streak, in intervals
+	CoV        float64 // per-phase CPI coefficient of variation
+	Phases     int     // phases the CoV is computed over
+}
+
+// ProbeDetector runs the workload on a 2-node machine and classifies
+// proc 0's recorded intervals with the BBV detector. It needs at least
+// minIntervals recorded intervals to score; fewer (or a run error,
+// e.g. the instruction budget) is a skip, reported as an error.
+func ProbeDetector(w workloads.Workload, interval uint64, minIntervals int) (*DetectorScore, error) {
+	cfg := machine.DefaultConfig(2)
+	cfg.IntervalInstructions = interval
+	cfg.MaxInstructions = probeBudget
+	m := machine.New(cfg, w.Threads(2, workloads.SizeTest, 1))
+	if _, err := m.Run(); err != nil {
+		return nil, fmt.Errorf("wdlfuzz: detector probe: %w", err)
+	}
+	sigs := m.RecordsByProc()[0]
+	if len(sigs) < minIntervals {
+		return nil, fmt.Errorf("wdlfuzz: detector probe: only %d intervals (min %d)", len(sigs), minIntervals)
+	}
+	ids := core.ClassifyRecorded(core.DetectorBBV, 16, 0.05, 0, sigs)
+	cpis := make([]float64, len(sigs))
+	for i := range sigs {
+		cpis[i] = sigs[i].CPI()
+	}
+	cov, phases := stats.IdentifierCoV(ids, cpis)
+	return &DetectorScore{
+		Intervals:  len(sigs),
+		SwitchRate: switchRate(ids),
+		Distinct:   distinct(ids),
+		LongestRun: longestRun(ids),
+		CoV:        cov,
+		Phases:     phases,
+	}, nil
+}
+
+func switchRate(ids []int) float64 {
+	if len(ids) < 2 {
+		return 0
+	}
+	switches := 0
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[i-1] {
+			switches++
+		}
+	}
+	return float64(switches) / float64(len(ids)-1)
+}
+
+func distinct(ids []int) int {
+	seen := map[int]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	return len(seen)
+}
+
+func longestRun(ids []int) int {
+	if len(ids) == 0 {
+		return 0
+	}
+	best, run := 1, 1
+	for i := 1; i < len(ids); i++ {
+		if ids[i] == ids[i-1] {
+			run++
+		} else {
+			run = 1
+		}
+		if run > best {
+			best = run
+		}
+	}
+	return best
+}
+
+// ProtocolScore is the directory-vs-IVY differential for one workload:
+// each backend's characteristic remote activity, normalized per 1000
+// instructions so specs of different lengths compare.
+type ProtocolScore struct {
+	Dir coherence.Stats
+	IVY coherence.Stats
+	// DirRate is line-level remote activity (remote trips +
+	// invalidations) per 1k instructions under the directory backend.
+	DirRate float64
+	// IVYRate is page-level activity (faults + transfers + page
+	// invalidations) per 1k instructions under IVY.
+	IVYRate float64
+}
+
+// Blowup is the larger one-sided ratio between the two backends'
+// activity rates (Inf when one side is zero and the other is not).
+func (s *ProtocolScore) Blowup() float64 {
+	a, b := s.DirRate, s.IVYRate
+	if a < b {
+		a, b = b, a
+	}
+	if a == 0 {
+		return 0
+	}
+	if b == 0 {
+		return a * 1e9 // effectively infinite, kept finite for sorting
+	}
+	return a / b
+}
+
+// ProbeProtocols runs the workload once under each coherence backend
+// on a 4-node machine and returns the differential. Backend invariant
+// failures after a run are returned as violations.
+func ProbeProtocols(w workloads.Workload) (*ProtocolScore, []Violation, error) {
+	score := &ProtocolScore{}
+	var viols []Violation
+	for _, kind := range []coherence.Kind{coherence.KindDirectory, coherence.KindIVY} {
+		cfg := machine.DefaultConfig(4)
+		cfg.Protocol = kind
+		cfg.MaxInstructions = probeBudget
+		m := machine.New(cfg, w.Threads(4, workloads.SizeTest, 1))
+		sum, err := m.Run()
+		if err != nil {
+			return nil, nil, fmt.Errorf("wdlfuzz: protocol probe (%s): %w", kind, err)
+		}
+		if err := m.Protocol().CheckInvariants(); err != nil {
+			viols = append(viols, Violation{"protocol", fmt.Sprintf("%s: %v", kind, err)})
+		}
+		st := m.Protocol().Stats()
+		per1k := func(events uint64) float64 {
+			if sum.Instructions == 0 {
+				return 0
+			}
+			return float64(events) / float64(sum.Instructions) * 1000
+		}
+		switch kind {
+		case coherence.KindDirectory:
+			score.Dir = st
+			score.DirRate = per1k(st.RemoteTrips + st.Invalidations)
+		case coherence.KindIVY:
+			score.IVY = st
+			score.IVYRate = per1k(st.PageFaults + st.PageTransfers + st.PageInvalidations)
+		}
+	}
+	return score, viols, nil
+}

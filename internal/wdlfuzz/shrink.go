@@ -1,0 +1,193 @@
+package wdlfuzz
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Greedy spec minimizer: repeatedly try structural and parameter
+// reductions, keep the first one that still satisfies the predicate,
+// and loop to a fixpoint. Reductions are enumerated in deterministic
+// order (structure before parameters, earlier phases first), so the
+// minimized reproducer for a given finding is stable across runs.
+
+// requiredKeys are spec fields the shrinker never deletes outright.
+var requiredKeys = map[string]bool{
+	"name": true, "description": true, "phases": true,
+	"blocks": true, "kind": true, "trace": true,
+}
+
+// Shrink minimizes src while keep(src) stays true. keep is called at
+// most maxTries times; src itself is assumed to satisfy keep. The
+// result always satisfies keep (it is src itself in the worst case).
+func Shrink(src []byte, keep func([]byte) bool, maxTries int) []byte {
+	cur := src
+	tries := 0
+	attempt := func(next []byte) bool {
+		if next == nil || tries >= maxTries {
+			return false
+		}
+		tries++
+		if keep(next) {
+			cur = next
+			return true
+		}
+		return false
+	}
+	for tries < maxTries {
+		improved := false
+		for _, red := range reductions(cur) {
+			if attempt(red) {
+				improved = true
+				break // re-enumerate against the smaller spec
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur
+}
+
+// reductions enumerates candidate one-step reductions of the spec, in
+// the order the shrinker should try them: drop whole phases, drop
+// blocks, strip optional fields, then pull numeric values toward 1.
+func reductions(src []byte) [][]byte {
+	var spec map[string]any
+	if err := json.Unmarshal(src, &spec); err != nil {
+		return nil
+	}
+	var out [][]byte
+	emit := func(mutated map[string]any) {
+		if b, err := json.Marshal(mutated); err == nil && len(b) <= len(src) {
+			out = append(out, b)
+		}
+	}
+	withCopy := func(f func(c map[string]any) bool) {
+		c := clone(spec).(map[string]any)
+		if f(c) {
+			emit(c)
+		}
+	}
+
+	phases, _ := spec["phases"].([]any)
+	// Drop each phase.
+	if len(phases) > 1 {
+		for pi := range phases {
+			pi := pi
+			withCopy(func(c map[string]any) bool {
+				c["phases"] = removeAt(c["phases"].([]any), pi)
+				return true
+			})
+		}
+	}
+	// Drop each block.
+	for pi := range phases {
+		ph, _ := phases[pi].(map[string]any)
+		if ph == nil {
+			continue
+		}
+		blocks, _ := ph["blocks"].([]any)
+		if len(blocks) <= 1 {
+			continue
+		}
+		for bi := range blocks {
+			pi, bi := pi, bi
+			withCopy(func(c map[string]any) bool {
+				cp := c["phases"].([]any)[pi].(map[string]any)
+				cp["blocks"] = removeAt(cp["blocks"].([]any), bi)
+				return true
+			})
+		}
+	}
+	// Strip optional fields, deepest first so block knobs go before
+	// phase knobs; then shrink numerics toward 1.
+	out = append(out, fieldReductions(src, spec)...)
+	return out
+}
+
+// fieldReductions walks every object in the spec tree and proposes
+// removing optional fields and reducing numeric values.
+func fieldReductions(src []byte, spec map[string]any) [][]byte {
+	var out [][]byte
+	var paths [][]any // each: sequence of keys/indices to an object
+	var walk func(v any, path []any)
+	walk = func(v any, path []any) {
+		switch t := v.(type) {
+		case map[string]any:
+			paths = append(paths, append([]any(nil), path...))
+			for _, k := range sortedKeys(t) {
+				walk(t[k], append(path, k))
+			}
+		case []any:
+			for i, e := range t {
+				walk(e, append(path, i))
+			}
+		}
+	}
+	walk(spec, nil)
+	// Deepest objects first.
+	sort.SliceStable(paths, func(i, j int) bool { return len(paths[i]) > len(paths[j]) })
+
+	for _, path := range paths {
+		path := path
+		c := clone(spec).(map[string]any)
+		obj := resolve(c, path)
+		if obj == nil {
+			continue
+		}
+		for _, k := range sortedKeys(obj) {
+			k := k
+			if requiredKeys[k] {
+				continue
+			}
+			// Propose deletion.
+			c2 := clone(spec).(map[string]any)
+			if o := resolve(c2, path); o != nil {
+				delete(o, k)
+				if b, err := json.Marshal(c2); err == nil && len(b) < len(src) {
+					out = append(out, b)
+				}
+			}
+			// Propose numeric reduction to 1, then halving.
+			if v, ok := obj[k].(float64); ok && v > 1 {
+				for _, nv := range []float64{1, float64(int(v) / 2)} {
+					if nv >= v {
+						continue
+					}
+					c3 := clone(spec).(map[string]any)
+					if o := resolve(c3, path); o != nil {
+						o[k] = nv
+						if b, err := json.Marshal(c3); err == nil {
+							out = append(out, b)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// resolve follows a key/index path to an object inside the tree.
+func resolve(root any, path []any) map[string]any {
+	cur := root
+	for _, step := range path {
+		switch s := step.(type) {
+		case string:
+			m, ok := cur.(map[string]any)
+			if !ok {
+				return nil
+			}
+			cur = m[s]
+		case int:
+			a, ok := cur.([]any)
+			if !ok || s >= len(a) {
+				return nil
+			}
+			cur = a[s]
+		}
+	}
+	m, _ := cur.(map[string]any)
+	return m
+}

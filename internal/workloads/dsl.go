@@ -322,14 +322,20 @@ func validName(name string) error {
 }
 
 // canonHash canonicalizes a spec source (re-marshal of the generic
-// parse, sorted keys, no whitespace) and hashes it. Formatting changes
-// don't move the hash; any value change does.
+// parse, sorted keys, no whitespace, JSON-zero scalar fields stripped)
+// and hashes it. Formatting changes and writing a default explicitly
+// ("repeat": 0, "drift": false, "scale_name": "") don't move the hash;
+// any value change does. Empty objects and arrays are NOT stripped —
+// an explicit empty "region" selects region defaults, which differs
+// from no region at all — and neither is "home", whose wire type is a
+// pointer: absent means owner-thread homing while an explicit 0 homes
+// at node 0.
 func canonHash(src []byte) ([]byte, uint64, error) {
 	var generic any
 	if err := json.Unmarshal(src, &generic); err != nil {
 		return nil, 0, fmt.Errorf("workloads: canonicalizing spec: %w", err)
 	}
-	canon, err := json.Marshal(generic)
+	canon, err := json.Marshal(stripZeroDefaults(generic))
 	if err != nil {
 		return nil, 0, fmt.Errorf("workloads: canonicalizing spec: %w", err)
 	}
@@ -338,6 +344,49 @@ func canonHash(src []byte) ([]byte, uint64, error) {
 		h = rng.Hash64(h ^ uint64(b))
 	}
 	return canon, h, nil
+}
+
+// stripZeroDefaults removes object fields whose value is a JSON zero
+// scalar (0, false, "", null) from a generic JSON tree, recursively.
+// Pointer-typed fields that distinguish absent from zero ("home") are
+// kept, as are empty objects/arrays (see canonHash).
+func stripZeroDefaults(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(t))
+		for k, e := range t {
+			e = stripZeroDefaults(e)
+			// "home" is pointer-typed: strip only null (absent), never
+			// an explicit 0, which homes at node 0 rather than the
+			// owner thread.
+			if isZeroScalar(e) && (k != "home" || e == nil) {
+				continue
+			}
+			out[k] = e
+		}
+		return out
+	case []any:
+		for i, e := range t {
+			t[i] = stripZeroDefaults(e)
+		}
+		return t
+	default:
+		return v
+	}
+}
+
+func isZeroScalar(v any) bool {
+	switch t := v.(type) {
+	case nil:
+		return true
+	case bool:
+		return !t
+	case float64:
+		return t == 0
+	case string:
+		return t == ""
+	}
+	return false
 }
 
 // scaleFor resolves the per-size phase-repeat multiplier.

@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dsmphase/internal/trace"
+)
+
+// Error-path coverage for the file-level front ends: every malformed
+// input must come back as a clear error — never a panic — and the error
+// text must locate the problem.
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadSpecFileErrors(t *testing.T) {
+	valid := `{"name":"ep-ok","description":"d","phases":[{"blocks":[{"kind":"stride","count":4,"wrap":8}]}]}`
+
+	cases := []struct {
+		name    string
+		content string // "" means don't create the file
+		want    string // substring of the error
+	}{
+		{"missing file", "", "no such file"},
+		{"empty file", " ", "parsing spec"},
+		{"truncated json", valid[:len(valid)/2], "parsing spec"},
+		{"unknown block kind", `{"name":"ep","description":"d","phases":[{"blocks":[{"kind":"quantum","count":4}]}]}`, `unknown block kind "quantum"`},
+		{"zero phases", `{"name":"ep","description":"d","phases":[]}`, "needs phases or a trace"},
+		{"trace file missing", `{"name":"ep","description":"d","trace":{"file":"nope.jsonl"}}`, "no such file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "missing.wdl")
+			if tc.content != "" {
+				path = writeTemp(t, "spec.wdl", tc.content)
+			}
+			sw, err := LoadSpecFile(path)
+			if err == nil {
+				t.Fatalf("want error containing %q, got workload %q", tc.want, sw.Name())
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+
+	// Control: the valid spec loads.
+	if _, err := LoadSpecFile(writeTemp(t, "ok.wdl", valid)); err != nil {
+		t.Fatalf("valid spec failed to load: %v", err)
+	}
+}
+
+// TestLoadSpecFileTraceErrors drives the trace stanza through files:
+// truncated JSONL, sync-count mismatches, and effectively zero-thread
+// traces must surface as errors from LoadSpecFile, not panics.
+func TestLoadSpecFileTraceErrors(t *testing.T) {
+	spec := func(traceFile string) string {
+		return `{"name":"ep-tr","description":"d","trace":{"file":"` + traceFile + `"}}`
+	}
+	load := func(t *testing.T, jsonl string) error {
+		t.Helper()
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "t.jsonl"), []byte(jsonl), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		specPath := filepath.Join(dir, "spec.wdl")
+		if err := os.WriteFile(specPath, []byte(spec("t.jsonl")), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadSpecFile(specPath)
+		return err
+	}
+
+	cases := []struct {
+		name  string
+		jsonl string
+		want  string
+	}{
+		{"truncated jsonl", `{"proc":0,"op":"load","pc":16,"ad`, "unexpected EOF"},
+		{"empty trace file", "", "has no records"},
+		{"sync-count mismatch", `{"proc":0,"op":"load","pc":16,"addr":64}
+{"proc":0,"op":"sync","pc":32}
+{"proc":1,"op":"load","pc":16,"addr":128}`, "barrier counts must match"},
+		{"negative proc", `{"proc":-1,"op":"load","pc":16,"addr":64}`, "negative proc"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := load(t, tc.jsonl)
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFromTraceNegativeProc pins that negative processor IDs are
+// rejected up front rather than panicking during segmentation —
+// including the all-negative case, which used to leave procs == 0 and
+// index segs[0] out of range.
+func TestFromTraceNegativeProc(t *testing.T) {
+	cases := [][]trace.Access{
+		{{Proc: -1, Op: "load", PC: 16, Addr: 64}},
+		{{Proc: 0, Op: "load", PC: 16, Addr: 64}, {Proc: -3, Op: "store", PC: 20, Addr: 72}},
+	}
+	for i, recs := range cases {
+		_, err := FromTrace("ep-neg", "d", recs)
+		if err == nil || !strings.Contains(err.Error(), "negative proc") {
+			t.Fatalf("case %d: want negative-proc error, got %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package workloads
+
+import "testing"
+
+// TestDefinitionHashEquivalence pins the canonicalization contract of
+// the definition hash: two spec sources that parse to the same
+// workload definition hash identically, regardless of JSON key order,
+// whitespace, or writing a default value explicitly — while sources
+// that differ in meaning (however subtly) must not collide.
+func TestDefinitionHashEquivalence(t *testing.T) {
+	hash := func(t *testing.T, src string) uint64 {
+		t.Helper()
+		sw, err := ParseSpec([]byte(src))
+		if err != nil {
+			t.Fatalf("parse: %v\nsource: %s", err, src)
+		}
+		return sw.Hash()
+	}
+
+	equivalent := []struct {
+		name string
+		a, b string
+	}{
+		{
+			"key order",
+			`{"name":"hp","description":"d","phases":[{"blocks":[{"kind":"stride","count":8,"wrap":16}]}]}`,
+			`{"phases":[{"blocks":[{"wrap":16,"count":8,"kind":"stride"}]}],"description":"d","name":"hp"}`,
+		},
+		{
+			"whitespace and indentation",
+			`{"name":"hp","description":"d","phases":[{"blocks":[{"kind":"stride","count":8,"wrap":16}]}]}`,
+			"{\n  \"name\": \"hp\",\n  \"description\": \"d\",\n  \"phases\": [\n    { \"blocks\": [\n      { \"kind\": \"stride\", \"count\": 8, \"wrap\": 16 }\n    ] }\n  ]\n}\n",
+		},
+		{
+			"explicit zero defaults on the spec",
+			`{"name":"hp","description":"d","phases":[{"blocks":[{"kind":"stride","count":8,"wrap":16}]}]}`,
+			`{"name":"hp","description":"d","pc_base":0,"repeat":0,"phases":[{"blocks":[{"kind":"stride","count":8,"wrap":16}]}]}`,
+		},
+		{
+			"explicit zero defaults on phase and block",
+			`{"name":"hp","description":"d","phases":[{"blocks":[{"kind":"stride","count":8,"wrap":16}]}]}`,
+			`{"name":"hp","description":"d","phases":[{"repeat":0,"no_barrier":false,"blocks":[{"kind":"stride","count":8,"wrap":16,"int_ops":0,"fp_ops":0,"store":false,"offset":0,"offset_step":0,"salt":0,"skew":0,"per_proc":false}]}]}`,
+		},
+		{
+			"null optional stanzas are absent stanzas",
+			`{"name":"hp","description":"d","phases":[{"blocks":[{"kind":"stride","count":8,"wrap":16}]}]}`,
+			`{"name":"hp","description":"d","scale":null,"phases":[{"blocks":[{"kind":"stride","count":8,"wrap":16,"region":null,"accum":null}]}]}`,
+		},
+		{
+			"null home is absent home",
+			`{"name":"hp","description":"d","phases":[{"blocks":[{"kind":"stride","count":8,"wrap":16,"region":{"base":4096}}]}]}`,
+			`{"name":"hp","description":"d","phases":[{"blocks":[{"kind":"stride","count":8,"wrap":16,"region":{"base":4096,"home":null}}]}]}`,
+		},
+		{
+			"zero defaults inside a region",
+			`{"name":"hp","description":"d","phases":[{"blocks":[{"kind":"stride","count":8,"wrap":16,"region":{"base":4096}}]}]}`,
+			`{"name":"hp","description":"d","phases":[{"blocks":[{"kind":"stride","count":8,"wrap":16,"region":{"base":4096,"elem_bytes":0,"slot_bytes":0,"slot_wrap":0}}]}]}`,
+		},
+	}
+	for _, tc := range equivalent {
+		t.Run("equiv/"+tc.name, func(t *testing.T) {
+			if ha, hb := hash(t, tc.a), hash(t, tc.b); ha != hb {
+				t.Fatalf("equivalent sources hash differently: %#x vs %#x", ha, hb)
+			}
+		})
+	}
+
+	distinct := []struct {
+		name string
+		a, b string
+	}{
+		{
+			// Home is pointer-typed: explicit 0 homes at node 0,
+			// absent means the owner thread. These must not collide.
+			"explicit home 0 vs absent home",
+			`{"name":"hp","description":"d","phases":[{"blocks":[{"kind":"stride","count":8,"wrap":16,"region":{"base":4096,"home":0}}]}]}`,
+			`{"name":"hp","description":"d","phases":[{"blocks":[{"kind":"stride","count":8,"wrap":16,"region":{"base":4096}}]}]}`,
+		},
+		{
+			// An explicit empty region selects region defaults
+			// (base 0, elem 8); no region selects the block's own
+			// default region. Different meaning, different hash.
+			"empty region vs absent region",
+			`{"name":"hp","description":"d","phases":[{"blocks":[{"kind":"stride","count":8,"wrap":16,"region":{}}]}]}`,
+			`{"name":"hp","description":"d","phases":[{"blocks":[{"kind":"stride","count":8,"wrap":16}]}]}`,
+		},
+		{
+			"value change",
+			`{"name":"hp","description":"d","phases":[{"blocks":[{"kind":"stride","count":8,"wrap":16}]}]}`,
+			`{"name":"hp","description":"d","phases":[{"blocks":[{"kind":"stride","count":9,"wrap":16}]}]}`,
+		},
+		{
+			"repeat 1 vs repeat 2",
+			`{"name":"hp","description":"d","phases":[{"repeat":1,"blocks":[{"kind":"stride","count":8,"wrap":16}]}]}`,
+			`{"name":"hp","description":"d","phases":[{"repeat":2,"blocks":[{"kind":"stride","count":8,"wrap":16}]}]}`,
+		},
+	}
+	for _, tc := range distinct {
+		t.Run("distinct/"+tc.name, func(t *testing.T) {
+			if ha, hb := hash(t, tc.a), hash(t, tc.b); ha == hb {
+				t.Fatalf("distinct sources collide at %#x", ha)
+			}
+		})
+	}
+}

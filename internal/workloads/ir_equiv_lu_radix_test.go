@@ -1,0 +1,309 @@
+package workloads
+
+// Stream-equality pins for the lu/radix IR migration, in the style of
+// ir_equiv_test.go: the pre-refactor hand-written generators are
+// preserved verbatim below (legacy* prefix) and the migrated IR
+// generators are required to produce byte-identical per-batch
+// instruction streams — batch boundaries included, since the scheduler
+// interleaves threads at batch granularity.
+
+import (
+	"testing"
+
+	"dsmphase/internal/isa"
+	"dsmphase/internal/machine"
+	"dsmphase/internal/rng"
+)
+
+// --- legacy lu (pre-IR), verbatim ------------------------------------------
+
+const (
+	legacyLUFact = iota
+	legacyLUSolveRow
+	legacyLUSolveCol
+	legacyLUUpdate
+)
+
+type legacyLURun struct {
+	n, G, B int
+	pr, pc  int
+	depth   int
+}
+
+func (r *legacyLURun) owner(bi, bj int) int {
+	return (bi%r.pr)*r.pc + (bj % r.pc)
+}
+
+func (r *legacyLURun) blockAddr(bi, bj int) uint64 {
+	bid := uint64(bi*r.G + bj)
+	blockBytes := uint64(r.B * r.B * 8)
+	return machine.AddrAt(r.owner(bi, bj), bid*blockBytes)
+}
+
+func (r *legacyLURun) off(i, j int) uint64 {
+	return uint64(i*r.B+j) * 8
+}
+
+func legacyLUThreads(n int, sz Size) []isa.Thread {
+	p := LU{}.params(sz)
+	G := p.N / p.B
+	pr, pc := procGrid(n)
+	run := &legacyLURun{n: n, G: G, B: p.B, pr: pr, pc: pc, depth: max(2, p.B/4)}
+	out := make([]isa.Thread, n)
+	for tid := 0; tid < n; tid++ {
+		var items []item
+		for k := 0; k < G; k++ {
+			if run.owner(k, k) == tid {
+				items = append(items, item{kind: legacyLUFact, a: k})
+			}
+			items = append(items, item{kind: kindBarrier})
+			for j := k + 1; j < G; j++ {
+				if run.owner(k, j) == tid {
+					items = append(items, item{kind: legacyLUSolveRow, a: k, b: j})
+				}
+			}
+			for i := k + 1; i < G; i++ {
+				if run.owner(i, k) == tid {
+					items = append(items, item{kind: legacyLUSolveCol, a: k, b: i})
+				}
+			}
+			items = append(items, item{kind: kindBarrier})
+			for i := k + 1; i < G; i++ {
+				for j := k + 1; j < G; j++ {
+					if run.owner(i, j) == tid {
+						items = append(items, item{kind: legacyLUUpdate, a: i, b: j, c: k})
+					}
+				}
+			}
+			items = append(items, item{kind: kindBarrier})
+		}
+		out[tid] = &scriptThread{items: items, emit: run.emit, barrierPC: pcLU + 0xF00}
+	}
+	return out
+}
+
+func (r *legacyLURun) emit(it item, e *isa.Emitter) {
+	switch it.kind {
+	case legacyLUFact:
+		r.emitFact(e, it.a)
+	case legacyLUSolveRow:
+		r.emitSolve(e, it.a, it.a, it.b, pcLU+0x100)
+	case legacyLUSolveCol:
+		r.emitSolve(e, it.a, it.b, it.a, pcLU+0x200)
+	case legacyLUUpdate:
+		r.emitUpdate(e, it.a, it.b, it.c)
+	default:
+		panic("legacy lu: unknown work item")
+	}
+}
+
+func (r *legacyLURun) emitFact(e *isa.Emitter, k int) {
+	const pc = pcLU + 0x000
+	blk := r.blockAddr(k, k)
+	for j := 0; j < r.B; j++ {
+		for i := j; i < r.B; i++ {
+			e.Load(pc+0, blk+r.off(i, j))
+			e.Load(pc+4, blk+r.off(j, j))
+			e.FP(pc+8, 2)
+			e.Store(pc+12, blk+r.off(i, j))
+			e.LoopBranch(pc+16, i-j, r.B-j)
+		}
+		e.LoopBranch(pc+20, j, r.B)
+	}
+}
+
+func (r *legacyLURun) emitSolve(e *isa.Emitter, k, bi, bj int, pc uint32) {
+	diag := r.blockAddr(k, k)
+	tgt := r.blockAddr(bi, bj)
+	for j := 0; j < r.B; j++ {
+		for i := 0; i < r.B; i++ {
+			e.Load(pc+0, diag+r.off(j, j))
+			e.Load(pc+4, tgt+r.off(i, j))
+			e.FP(pc+8, 2)
+			e.Store(pc+12, tgt+r.off(i, j))
+			e.LoopBranch(pc+16, i, r.B)
+		}
+		e.LoopBranch(pc+20, j, r.B)
+	}
+}
+
+func (r *legacyLURun) emitUpdate(e *isa.Emitter, i, j, k int) {
+	const pc = pcLU + 0x300
+	a := r.blockAddr(i, k)
+	b := r.blockAddr(k, j)
+	tgt := r.blockAddr(i, j)
+	for jj := 0; jj < r.B; jj++ {
+		for ii := 0; ii < r.B; ii++ {
+			for kk := 0; kk < r.depth; kk++ {
+				e.Load(pc+0, a+r.off(ii, kk*r.B/r.depth))
+				e.Load(pc+4, b+r.off(kk*r.B/r.depth, jj))
+				e.FP(pc+8, 2)
+				e.LoopBranch(pc+12, kk, r.depth)
+			}
+			e.Load(pc+16, tgt+r.off(ii, jj))
+			e.FP(pc+20, 1)
+			e.Store(pc+24, tgt+r.off(ii, jj))
+			e.LoopBranch(pc+28, ii, r.B)
+		}
+		e.LoopBranch(pc+32, jj, r.B)
+	}
+}
+
+// --- legacy radix (pre-IR), verbatim ---------------------------------------
+
+const (
+	legacyRadixHist = iota
+	legacyRadixScan
+	legacyRadixPermute
+)
+
+type legacyRadixRun struct {
+	n    int
+	p    radixParams
+	seed uint64
+}
+
+func (r *legacyRadixRun) keyAddr(owner int, k int) uint64 {
+	return machine.AddrAt(owner, uint64(k)*8)
+}
+
+func (r *legacyRadixRun) histAddr(owner, b int) uint64 {
+	return machine.AddrAt(owner, 1<<28|uint64(b)*8)
+}
+
+func (r *legacyRadixRun) destOwner(tid, k, pass int) int {
+	h := rng.Hash64(r.seed ^ uint64(tid)<<40 ^ uint64(k)<<8 ^ uint64(pass))
+	spread := r.n >> uint(pass)
+	if spread < 1 {
+		spread = 1
+	}
+	return (tid + int(h%uint64(spread))) % r.n
+}
+
+func legacyRadixThreads(n int, sz Size, seed uint64) []isa.Thread {
+	p := Radix{}.params(sz)
+	run := &legacyRadixRun{n: n, p: p, seed: seed}
+	perProc := p.Keys / n
+	out := make([]isa.Thread, n)
+	for tid := 0; tid < n; tid++ {
+		var items []item
+		for pass := 0; pass < p.Passes; pass++ {
+			for s := 0; s < perProc; s += radixChunk {
+				e := s + radixChunk
+				if e > perProc {
+					e = perProc
+				}
+				items = append(items, item{kind: legacyRadixHist, a: tid, b: s, c: e})
+			}
+			items = append(items, item{kind: kindBarrier})
+			items = append(items, item{kind: legacyRadixScan, a: tid})
+			items = append(items, item{kind: kindBarrier})
+			for s := 0; s < perProc; s += radixChunk {
+				e := s + radixChunk
+				if e > perProc {
+					e = perProc
+				}
+				items = append(items, item{kind: legacyRadixPermute, a: tid, b: s, c: e, d: pass})
+			}
+			items = append(items, item{kind: kindBarrier})
+		}
+		out[tid] = &scriptThread{items: items, emit: run.emit, barrierPC: pcRadix + 0xF00}
+	}
+	return out
+}
+
+func (r *legacyRadixRun) emit(it item, e *isa.Emitter) {
+	switch it.kind {
+	case legacyRadixHist:
+		r.emitHist(e, it.a, it.b, it.c)
+	case legacyRadixScan:
+		r.emitScan(e, it.a)
+	case legacyRadixPermute:
+		r.emitPermute(e, it.a, it.b, it.c, it.d)
+	default:
+		panic("legacy radix: unknown work item")
+	}
+}
+
+func (r *legacyRadixRun) emitHist(e *isa.Emitter, tid, lo, hi int) {
+	const pc = pcRadix + 0x000
+	for k := lo; k < hi; k++ {
+		e.Load(pc+0, r.keyAddr(tid, k))
+		e.Int(pc+4, 2)
+		e.Store(pc+8, r.histAddr(tid, k%r.p.Radix))
+		e.LoopBranch(pc+12, k-lo, hi-lo)
+	}
+}
+
+func (r *legacyRadixRun) emitScan(e *isa.Emitter, tid int) {
+	const pc = pcRadix + 0x100
+	stride := 16
+	for q := 0; q < r.n; q++ {
+		for b := 0; b < r.p.Radix; b += stride {
+			e.Load(pc+0, r.histAddr(q, b))
+			e.Int(pc+4, 1)
+			e.LoopBranch(pc+8, b/stride, r.p.Radix/stride)
+		}
+		e.LoopBranch(pc+12, q, r.n)
+	}
+	for b := 0; b < r.p.Radix; b += stride {
+		e.Store(pc+16, r.histAddr(tid, b))
+		e.LoopBranch(pc+20, b/stride, r.p.Radix/stride)
+	}
+}
+
+func (r *legacyRadixRun) emitPermute(e *isa.Emitter, tid, lo, hi, pass int) {
+	const pc = pcRadix + 0x200
+	for k := lo; k < hi; k++ {
+		e.Load(pc+0, r.keyAddr(tid, k))
+		e.Int(pc+4, 2)
+		dst := r.destOwner(tid, k, pass)
+		e.Store(pc+8, r.keyAddr(dst, k)+1<<27)
+		e.LoopBranch(pc+12, k-lo, hi-lo)
+	}
+}
+
+// --- the equivalence pin ---------------------------------------------------
+
+// TestIRStreamEquivalenceLURadix pins that the IR-migrated lu and radix
+// generators emit byte-identical per-batch streams to their pre-refactor
+// emitters, across processor counts, sizes and (for the seed-dependent
+// radix permutation) seeds.
+func TestIRStreamEquivalenceLURadix(t *testing.T) {
+	cases := []struct {
+		name   string
+		legacy func(n int, sz Size, seed uint64) []isa.Thread
+		sizes  []Size
+	}{
+		{"lu", func(n int, sz Size, _ uint64) []isa.Thread { return legacyLUThreads(n, sz) },
+			[]Size{SizeTest, SizeSmall}},
+		{"radix", legacyRadixThreads, []Size{SizeTest, SizeSmall}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := ByName(tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, sz := range tc.sizes {
+				ns := []int{1, 2, 3, 4, 8}
+				seeds := []uint64{1, 7}
+				if sz != SizeTest {
+					ns = []int{4} // keep larger inputs to one geometry
+					seeds = []uint64{1}
+				}
+				for _, n := range ns {
+					for _, seed := range seeds {
+						legacy := tc.legacy(n, sz, seed)
+						ir := w.Threads(n, sz, seed)
+						for tid := 0; tid < n; tid++ {
+							assertSameBatches(t, tc.name, n, tid,
+								drainBatches(t, legacy[tid]), drainBatches(t, ir[tid]))
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -52,14 +52,6 @@ func (w LU) InputSet(sz Size) string {
 	return fmt.Sprintf("%d×%d matrix, %d×%d block", p.N, p.N, p.B, p.B)
 }
 
-// LU kernel kinds.
-const (
-	luFact = iota
-	luSolveRow
-	luSolveCol
-	luUpdate
-)
-
 // LU static PC space.
 const pcLU = 0x1000_0000
 
@@ -100,59 +92,100 @@ func procGrid(n int) (pr, pc int) {
 	return pr, pc
 }
 
+// LU over the IR: the three kernels of factorization step k become
+// three barrier-closed phases. Ownership is irregular — a block emits
+// items only on the thread that owns the matrix block — so LU keeps
+// workload-specific Block implementations (like barnes) instead of
+// composing the generic primitives. Each BlockItem is one kernel
+// invocation, exactly the batch structure the pre-IR emitter produced
+// (pinned by TestIRStreamEquivalenceLURadix).
+
+// luFactB is step k's diagonal-block factorization: one item, on the
+// diagonal block's owner only.
+type luFactB struct {
+	r *luRun
+	k int
+}
+
+func (b *luFactB) Items(c *Ctx, tid int) []BlockItem {
+	if b.r.owner(b.k, b.k) == tid {
+		return []BlockItem{{A: b.k}}
+	}
+	return nil
+}
+
+func (b *luFactB) Emit(c *Ctx, e *isa.Emitter, it BlockItem) {
+	b.r.emitFact(e, it.A)
+}
+
+// luSolveB is step k's perimeter solve: one item per owned row block
+// (C=0), then one per owned column block (C=1), in block order.
+type luSolveB struct {
+	r *luRun
+	k int
+}
+
+func (b *luSolveB) Items(c *Ctx, tid int) []BlockItem {
+	var items []BlockItem
+	for j := b.k + 1; j < b.r.G; j++ {
+		if b.r.owner(b.k, j) == tid {
+			items = append(items, BlockItem{A: b.k, B: j})
+		}
+	}
+	for i := b.k + 1; i < b.r.G; i++ {
+		if b.r.owner(i, b.k) == tid {
+			items = append(items, BlockItem{A: b.k, B: i, C: 1})
+		}
+	}
+	return items
+}
+
+func (b *luSolveB) Emit(c *Ctx, e *isa.Emitter, it BlockItem) {
+	if it.C == 0 {
+		b.r.emitSolve(e, it.A, it.A, it.B, pcLU+0x100)
+	} else {
+		b.r.emitSolve(e, it.A, it.B, it.A, pcLU+0x200)
+	}
+}
+
+// luUpdateB is step k's trailing-submatrix update: one item per owned
+// trailing block.
+type luUpdateB struct {
+	r *luRun
+	k int
+}
+
+func (b *luUpdateB) Items(c *Ctx, tid int) []BlockItem {
+	var items []BlockItem
+	for i := b.k + 1; i < b.r.G; i++ {
+		for j := b.k + 1; j < b.r.G; j++ {
+			if b.r.owner(i, j) == tid {
+				items = append(items, BlockItem{A: i, B: j, C: b.k})
+			}
+		}
+	}
+	return items
+}
+
+func (b *luUpdateB) Emit(c *Ctx, e *isa.Emitter, it BlockItem) {
+	b.r.emitUpdate(e, it.A, it.B, it.C)
+}
+
 // Threads implements Workload.
 func (w LU) Threads(n int, sz Size, seed uint64) []isa.Thread {
 	p := w.params(sz)
 	G := p.N / p.B
 	pr, pc := procGrid(n)
 	run := &luRun{n: n, G: G, B: p.B, pr: pr, pc: pc, depth: max(2, p.B/4)}
-	out := make([]isa.Thread, n)
-	for tid := 0; tid < n; tid++ {
-		var items []item
-		for k := 0; k < G; k++ {
-			if run.owner(k, k) == tid {
-				items = append(items, item{kind: luFact, a: k})
-			}
-			items = append(items, item{kind: kindBarrier})
-			for j := k + 1; j < G; j++ {
-				if run.owner(k, j) == tid {
-					items = append(items, item{kind: luSolveRow, a: k, b: j})
-				}
-			}
-			for i := k + 1; i < G; i++ {
-				if run.owner(i, k) == tid {
-					items = append(items, item{kind: luSolveCol, a: k, b: i})
-				}
-			}
-			items = append(items, item{kind: kindBarrier})
-			for i := k + 1; i < G; i++ {
-				for j := k + 1; j < G; j++ {
-					if run.owner(i, j) == tid {
-						items = append(items, item{kind: luUpdate, a: i, b: j, c: k})
-					}
-				}
-			}
-			items = append(items, item{kind: kindBarrier})
-		}
-		out[tid] = &scriptThread{items: items, emit: run.emit, barrierPC: pcLU + 0xF00}
+	prog := &Program{BarrierPC: pcLU + 0xF00}
+	for k := 0; k < G; k++ {
+		prog.Phases = append(prog.Phases,
+			Phase{Blocks: []Block{&luFactB{r: run, k: k}}},
+			Phase{Blocks: []Block{&luSolveB{r: run, k: k}}},
+			Phase{Blocks: []Block{&luUpdateB{r: run, k: k}}},
+		)
 	}
-	return out
-}
-
-// emit expands one LU work item into instructions.
-func (r *luRun) emit(it item, e *isa.Emitter) {
-	switch it.kind {
-	case luFact:
-		r.emitFact(e, it.a)
-	case luSolveRow:
-		r.emitSolve(e, it.a, it.a, it.b, pcLU+0x100)
-	case luSolveCol:
-		r.emitSolve(e, it.a, it.b, it.a, pcLU+0x200)
-	case luUpdate:
-		r.emitUpdate(e, it.a, it.b, it.c)
-	default:
-		panic("lu: unknown work item")
-	}
+	return prog.Threads(n, seed)
 }
 
 // emitFact models the diagonal-block factorization: column sweeps over

@@ -56,22 +56,16 @@ func (w Radix) InputSet(sz Size) string {
 	return fmt.Sprintf("%d keys, radix %d, %d passes", p.Keys, p.Radix, p.Passes)
 }
 
-// Radix kernel kinds.
-const (
-	radixHist = iota
-	radixScan
-	radixPermute
-)
-
 const pcRadix = 0x6000_0000
 
 // radixChunk is the number of keys per work item.
 const radixChunk = 512
 
 type radixRun struct {
-	n    int
-	p    radixParams
-	seed uint64
+	n       int
+	p       radixParams
+	seed    uint64
+	perProc int // keys per processor
 }
 
 // keyAddr is the address of key index k in processor owner's key region.
@@ -96,50 +90,69 @@ func (r *radixRun) destOwner(tid, k, pass int) int {
 	return (tid + int(h%uint64(spread))) % r.n
 }
 
+// Radix over the IR: each pass is three barrier-closed phases —
+// histogram, global scan, permutation — with one BlockItem per
+// radixChunk of keys (histogram, permutation) or per thread (scan),
+// exactly the batch structure the pre-IR emitter produced (pinned by
+// TestIRStreamEquivalenceLURadix). The histogram and scan blocks carry
+// no per-pass state, so one instance serves every pass; the permute
+// block is per pass because the destination spread shrinks with it.
+
+// radixChunks lists [lo, hi) key chunks of thread tid's partition.
+func (r *radixRun) chunks(tid int) []BlockItem {
+	var items []BlockItem
+	for s := 0; s < r.perProc; s += radixChunk {
+		e := s + radixChunk
+		if e > r.perProc {
+			e = r.perProc
+		}
+		items = append(items, BlockItem{A: tid, B: s, C: e})
+	}
+	return items
+}
+
+// radixHistB is the local histogram kernel.
+type radixHistB struct{ r *radixRun }
+
+func (b *radixHistB) Items(c *Ctx, tid int) []BlockItem { return b.r.chunks(tid) }
+func (b *radixHistB) Emit(c *Ctx, e *isa.Emitter, it BlockItem) {
+	b.r.emitHist(e, it.A, it.B, it.C)
+}
+
+// radixScanB is the global prefix-sum kernel: one item per thread.
+type radixScanB struct{ r *radixRun }
+
+func (b *radixScanB) Items(c *Ctx, tid int) []BlockItem { return []BlockItem{{A: tid}} }
+func (b *radixScanB) Emit(c *Ctx, e *isa.Emitter, it BlockItem) {
+	b.r.emitScan(e, it.A)
+}
+
+// radixPermuteB is pass's all-to-all key scatter.
+type radixPermuteB struct {
+	r    *radixRun
+	pass int
+}
+
+func (b *radixPermuteB) Items(c *Ctx, tid int) []BlockItem { return b.r.chunks(tid) }
+func (b *radixPermuteB) Emit(c *Ctx, e *isa.Emitter, it BlockItem) {
+	b.r.emitPermute(e, it.A, it.B, it.C, b.pass)
+}
+
 // Threads implements Workload.
 func (w Radix) Threads(n int, sz Size, seed uint64) []isa.Thread {
 	p := w.params(sz)
-	run := &radixRun{n: n, p: p, seed: seed}
-	perProc := p.Keys / n
-	out := make([]isa.Thread, n)
-	for tid := 0; tid < n; tid++ {
-		var items []item
-		for pass := 0; pass < p.Passes; pass++ {
-			for s := 0; s < perProc; s += radixChunk {
-				e := s + radixChunk
-				if e > perProc {
-					e = perProc
-				}
-				items = append(items, item{kind: radixHist, a: tid, b: s, c: e})
-			}
-			items = append(items, item{kind: kindBarrier})
-			items = append(items, item{kind: radixScan, a: tid})
-			items = append(items, item{kind: kindBarrier})
-			for s := 0; s < perProc; s += radixChunk {
-				e := s + radixChunk
-				if e > perProc {
-					e = perProc
-				}
-				items = append(items, item{kind: radixPermute, a: tid, b: s, c: e, d: pass})
-			}
-			items = append(items, item{kind: kindBarrier})
-		}
-		out[tid] = &scriptThread{items: items, emit: run.emit, barrierPC: pcRadix + 0xF00}
+	run := &radixRun{n: n, p: p, seed: seed, perProc: p.Keys / n}
+	prog := &Program{BarrierPC: pcRadix + 0xF00}
+	hist := &radixHistB{r: run}
+	scan := &radixScanB{r: run}
+	for pass := 0; pass < p.Passes; pass++ {
+		prog.Phases = append(prog.Phases,
+			Phase{Blocks: []Block{hist}},
+			Phase{Blocks: []Block{scan}},
+			Phase{Blocks: []Block{&radixPermuteB{r: run, pass: pass}}},
+		)
 	}
-	return out
-}
-
-func (r *radixRun) emit(it item, e *isa.Emitter) {
-	switch it.kind {
-	case radixHist:
-		r.emitHist(e, it.a, it.b, it.c)
-	case radixScan:
-		r.emitScan(e, it.a)
-	case radixPermute:
-		r.emitPermute(e, it.a, it.b, it.c, it.d)
-	default:
-		panic("radix: unknown work item")
-	}
+	return prog.Threads(n, seed)
 }
 
 // emitHist: local histogram of the chunk's key digits.

@@ -37,7 +37,10 @@ func traceWorkload(name, desc string, recs []trace.Access) (*SpecWorkload, error
 		return nil, fmt.Errorf("workloads: trace %q has no records", name)
 	}
 	procs := 0
-	for _, a := range recs {
+	for i, a := range recs {
+		if a.Proc < 0 {
+			return nil, fmt.Errorf("workloads: trace %q record %d: negative proc %d", name, i, a.Proc)
+		}
 		if a.Proc >= procs {
 			procs = a.Proc + 1
 		}
