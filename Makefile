@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check bench bench-json bench-smoke bench-check golden golden-update tuning-smoke shard-smoke service-smoke workload-smoke workload-smoke-update fuzz-smoke coherence-race ci
+.PHONY: build test vet fmt fmt-check bench bench-json bench-smoke bench-check golden golden-update tuning-smoke shard-smoke service-smoke workload-smoke workload-smoke-update fuzz-smoke coherence-race resilience-race chaos-smoke ci
 
 build:
 	$(GO) build ./...
@@ -160,4 +160,21 @@ fuzz-smoke:
 coherence-race:
 	$(GO) test -race ./internal/coherence/... ./internal/machine/...
 
-ci: build fmt-check vet test coherence-race bench bench-check golden tuning-smoke shard-smoke workload-smoke fuzz-smoke service-smoke
+# The resilience seam's dedicated gate: the coordinator and the fault
+# plane under the race detector — retries, quarantine, degraded
+# synthesis and the chaos campaign all cross goroutines.
+resilience-race:
+	$(GO) test -race ./internal/service/... ./internal/faults/...
+
+# End-to-end smoke of the fault-injection plane through the real CLI:
+# a fixed-seed chaos campaign (recovery schedules must complete
+# byte-identical, hostile schedules must degrade marking exactly the
+# injured cells, replays must be deterministic, corrupt cache entries
+# must be evicted and recomputed). docs/SERVICE.md "Failure model".
+chaos-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o "$$tmp/experiments" ./cmd/experiments && \
+	$(GO) build -o "$$tmp/dsmphased" ./cmd/dsmphased && \
+	"$$tmp/dsmphased" -chaos 4 -chaos-seed 1 -data "$$tmp/data" -experiments "$$tmp/experiments" > "$$tmp/chaos.json"
+
+ci: build fmt-check vet test coherence-race resilience-race bench bench-check golden tuning-smoke shard-smoke workload-smoke fuzz-smoke service-smoke chaos-smoke

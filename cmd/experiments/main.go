@@ -121,6 +121,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		shardTrace = fs.Bool("shard-trace", false, "embed interval records (internal/trace JSONL) in the shard artifact")
 		mergeFlag  = fs.Bool("merge", false, "merge the shard artifacts given as arguments into the report")
 		submitURL  = fs.String("submit", "", "submit the selected grids to a dsmphased coordinator at this URL and render the served report")
+		allowPart  = fs.Bool("allow-partial", false, "with -submit: accept a degraded report (failed cells carry errors) instead of failing the job")
 		etaFrom    = fs.String("eta-from", "", "seed the -progress ETA from a prior run's shard artifact timings")
 		abortOnce  = fs.String("shard-abort-once", "", "fault injection: exit(3) after one cell unless the given marker file exists ({shard} expands to the shard index); creates the marker, so a retry runs to completion")
 		cpuProf    = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -231,13 +232,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	case *submitURL != "":
 		req := service.JobRequest{
-			Size:       *sizeArg,
-			Apps:       splitList(*apps),
-			Protocols:  splitList(*protocols),
-			Interval:   *interval,
-			Seed:       *seed,
-			Replicates: *replicates,
-			Workloads:  workloadSources,
+			Size:         *sizeArg,
+			Apps:         splitList(*apps),
+			Protocols:    splitList(*protocols),
+			Interval:     *interval,
+			Seed:         *seed,
+			Replicates:   *replicates,
+			Workloads:    workloadSources,
+			AllowPartial: *allowPart,
 		}
 		if reports, tuningRep, err = runSubmit(*submitURL, grids, req, stderr); err != nil {
 			return err
@@ -457,6 +459,10 @@ func runSubmit(url string, grids []dsmphase.NamedGrid, req service.JobRequest, s
 		}
 		if st.Cached {
 			fmt.Fprintf(stderr, "experiments: %s served from the coordinator's result cache\n", st.ID)
+		}
+		if st.State == service.StateDegraded {
+			fmt.Fprintf(stderr, "experiments: WARNING: %s degraded — %d of %d cells carry errors (indices %v)\n",
+				st.ID, len(st.Injured), st.CellsTotal, st.Injured)
 		}
 		art, err := client.Artifact(st.ID)
 		if err != nil {

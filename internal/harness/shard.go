@@ -205,8 +205,44 @@ type ShardArtifact struct {
 	// of Of.
 	Shard int `json:"shard"`
 	Of    int `json:"of"`
+	// Checksum is a content checksum over every other field (16 hex
+	// digits, Hash64 chain over the compact JSON encoding with this
+	// field cleared). Writers always set it; readers verify it when
+	// present, so pre-checksum artifacts stay readable without a
+	// format-version bump.
+	Checksum string `json:"checksum,omitempty"`
 	// Grids holds one entry per experiment grid, in run order.
 	Grids []ShardGrid `json:"grids"`
+}
+
+// ErrArtifactChecksum tags a checksum-mismatch read failure, so callers
+// can distinguish silent content corruption from schema or fingerprint
+// errors (errors.Is).
+var ErrArtifactChecksum = errors.New("harness: shard artifact checksum mismatch")
+
+// ChecksumArtifact computes the artifact's content checksum: the
+// Hash64 chain over the compact JSON encoding with the Checksum field
+// cleared. Field order of the struct encoding is fixed, so the value
+// is deterministic for a given content (wall_ns included — the
+// checksum certifies the bytes that were written, not the plan).
+func ChecksumArtifact(a *ShardArtifact) (string, error) {
+	c := *a
+	c.Checksum = ""
+	b, err := json.Marshal(&c)
+	if err != nil {
+		return "", fmt.Errorf("harness: checksumming shard artifact: %w", err)
+	}
+	h := rng.Hash64(uint64(len(b)))
+	for len(b) >= 8 {
+		w := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+			uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+		h = rng.Hash64(h ^ w)
+		b = b[8:]
+	}
+	for _, x := range b {
+		h = rng.Hash64(h ^ uint64(x))
+	}
+	return fmt.Sprintf("%016x", h), nil
 }
 
 // ShardGrid is one experiment grid's shard: the plan identity every
@@ -554,6 +590,11 @@ func WriteShardArtifact(w io.Writer, a *ShardArtifact) error {
 	if a.Format != ShardFormat {
 		return fmt.Errorf("harness: shard artifact format %q, this build writes %q", a.Format, ShardFormat)
 	}
+	sum, err := ChecksumArtifact(a)
+	if err != nil {
+		return err
+	}
+	a.Checksum = sum
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(a)
@@ -608,6 +649,16 @@ func ReadShardArtifact(r io.Reader) (*ShardArtifact, error) {
 	}
 	if a.Of < 1 || a.Shard < 0 || a.Shard >= a.Of {
 		return nil, fmt.Errorf("harness: shard artifact claims shard %d/%d", a.Shard, a.Of)
+	}
+	if a.Checksum != "" {
+		want, err := ChecksumArtifact(&a)
+		if err != nil {
+			return nil, err
+		}
+		if a.Checksum != want {
+			return nil, fmt.Errorf("%w: artifact says %s, content hashes to %s (shard %d/%d)",
+				ErrArtifactChecksum, a.Checksum, want, a.Shard, a.Of)
+		}
 	}
 	return &a, nil
 }

@@ -1,12 +1,14 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dsmphase/internal/harness"
@@ -28,9 +30,11 @@ const DefaultCacheBytes = 256 << 20
 
 // Cache is the fingerprint-keyed disk store of merged job results.
 type Cache struct {
-	mu     sync.Mutex
-	dir    string
-	budget int64
+	mu             sync.Mutex
+	dir            string
+	budget         int64
+	evictions      atomic.Int64 // LRU budget evictions
+	corruptDropped atomic.Int64 // unreadable/checksum-failed entries dropped by Get
 }
 
 // NewCache opens (creating) a cache directory with a byte budget.
@@ -83,16 +87,30 @@ func (c *Cache) path(key string) string {
 
 // Get returns the cached artifact for key, refreshing its LRU stamp.
 func (c *Cache) Get(key string) (*harness.ShardArtifact, bool) {
+	a, ok, _ := c.get(key)
+	return a, ok
+}
+
+// get is Get plus the eviction verdict: an entry that exists on disk
+// but no longer reads back — a failed content checksum above all — is
+// removed (the next identical submission recomputes it) and reported
+// as dropped, so the caller can publish the cache-evict event.
+func (c *Cache) get(key string) (a *harness.ShardArtifact, ok, dropped bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	p := c.path(key)
 	a, err := harness.ReadShardArtifactFile(p)
 	if err != nil {
-		return nil, false
+		if !errors.Is(err, os.ErrNotExist) {
+			_ = os.Remove(p)
+			c.corruptDropped.Add(1)
+			return nil, false, true
+		}
+		return nil, false, false
 	}
 	now := time.Now()
 	_ = os.Chtimes(p, now, now)
-	return a, true
+	return a, true, false
 }
 
 // Put stores an artifact under key and evicts least-recently-used
@@ -147,10 +165,17 @@ func (c *Cache) evict(keep string) error {
 		}
 		if err := os.Remove(f.path); err == nil {
 			total -= f.size
+			c.evictions.Add(1)
 		}
 	}
 	return nil
 }
+
+// Evictions counts LRU budget evictions since startup (/v1/stats).
+func (c *Cache) Evictions() int64 { return c.evictions.Load() }
+
+// CorruptDropped counts unreadable entries dropped by Get (/v1/stats).
+func (c *Cache) CorruptDropped() int64 { return c.corruptDropped.Load() }
 
 // Len returns the number of cached entries (tests and /v1/stats).
 func (c *Cache) Len() int {

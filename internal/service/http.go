@@ -52,7 +52,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	st, err := c.Submit(req)
 	if err != nil {
 		status := http.StatusBadRequest
-		if strings.Contains(err.Error(), "queue full") {
+		if strings.Contains(err.Error(), "queue full") || strings.Contains(err.Error(), "draining") {
 			status = http.StatusServiceUnavailable
 		}
 		writeError(w, status, err)
@@ -162,7 +162,7 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return false
 		}
 		flusher.Flush()
-		return ev.Type != "done" && ev.Type != "failed"
+		return ev.Type != "done" && ev.Type != "failed" && ev.Type != "degraded"
 	}
 	for _, ev := range history {
 		if !send(ev) {
@@ -186,5 +186,8 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 	stats := c.Counters.Snapshot()
 	stats["cache_entries"] = int64(c.cache.Len())
+	stats["cache_evictions"] = c.cache.Evictions()
+	stats["cache_corrupt_dropped"] = c.cache.CorruptDropped()
+	stats["workers_quarantined_now"] = int64(c.pool.quarantined())
 	writeJSON(w, http.StatusOK, stats)
 }

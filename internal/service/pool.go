@@ -1,0 +1,159 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// The worker pool with health scoring. Each worker carries a
+// consecutive-failure count; QuarantineAfter failures in a row bench
+// it (circuit breaker open). A benched worker is only handed out when
+// no healthy worker is idle, and then as a *probe*: a successful probe
+// restores the worker to the healthy pool, a failed one keeps it
+// benched. Health is reported after artifact validation, not process
+// exit — a worker that "succeeds" but writes garbage is as sick as one
+// that crashes.
+
+// healthTransition reports what a workerPool.report call changed.
+type healthTransition int
+
+const (
+	healthUnchanged healthTransition = iota
+	healthBenched                    // crossed the quarantine threshold
+	healthRestored                   // probe succeeded, back in the pool
+)
+
+type poolEntry struct {
+	w       Worker
+	busy    bool
+	probing bool // handed out as a probe of a benched worker
+	benched bool
+	fails   int // consecutive failures
+}
+
+type workerPool struct {
+	mu              sync.Mutex
+	cond            *sync.Cond
+	quarantineAfter int
+	entries         []*poolEntry
+}
+
+func newWorkerPool(workers []Worker, quarantineAfter int) *workerPool {
+	p := &workerPool{quarantineAfter: quarantineAfter}
+	p.cond = sync.NewCond(&p.mu)
+	for _, w := range workers {
+		p.entries = append(p.entries, &poolEntry{w: w})
+	}
+	return p
+}
+
+// pick returns an idle worker, healthy first, benched (as a probe)
+// otherwise. Caller holds mu.
+func (p *workerPool) pick() (*poolEntry, bool) {
+	for _, e := range p.entries {
+		if !e.busy && !e.benched {
+			return e, false
+		}
+	}
+	for _, e := range p.entries {
+		if !e.busy && e.benched {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// acquire blocks until a worker is idle (or ctx ends). probe reports
+// that the worker is benched and this dispatch is its recovery probe.
+func (p *workerPool) acquire(ctx context.Context) (w Worker, probe bool, err error) {
+	stop := context.AfterFunc(ctx, func() {
+		p.mu.Lock()
+		p.mu.Unlock()
+		p.cond.Broadcast()
+	})
+	defer stop()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		if e, probing := p.pick(); e != nil {
+			e.busy, e.probing = true, probing
+			return e.w, probing, nil
+		}
+		p.cond.Wait()
+	}
+}
+
+// tryAcquire hands out an idle HEALTHY worker without blocking —
+// straggler backups never burn a probe.
+func (p *workerPool) tryAcquire() (Worker, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.entries {
+		if !e.busy && !e.benched {
+			e.busy, e.probing = true, false
+			return e.w, true
+		}
+	}
+	return nil, false
+}
+
+// release returns a worker to the pool without a health verdict (the
+// verdict comes separately via report, after artifact validation).
+func (p *workerPool) release(w Worker) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e := p.find(w); e != nil {
+		e.busy = false
+	}
+	p.cond.Broadcast()
+}
+
+// report scores an attempt's outcome against its worker.
+func (p *workerPool) report(w Worker, ok bool) healthTransition {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.find(w)
+	if e == nil {
+		return healthUnchanged
+	}
+	if ok {
+		e.fails = 0
+		if e.benched {
+			e.benched = false
+			p.cond.Broadcast()
+			return healthRestored
+		}
+		return healthUnchanged
+	}
+	e.fails++
+	if !e.benched && p.quarantineAfter > 0 && e.fails >= p.quarantineAfter {
+		e.benched = true
+		return healthBenched
+	}
+	return healthUnchanged
+}
+
+func (p *workerPool) find(w Worker) *poolEntry {
+	for _, e := range p.entries {
+		if e.w == w {
+			return e
+		}
+	}
+	return nil
+}
+
+// quarantined counts currently benched workers (/v1/stats).
+func (p *workerPool) quarantined() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, e := range p.entries {
+		if e.benched {
+			n++
+		}
+	}
+	return n
+}

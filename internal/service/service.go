@@ -3,10 +3,12 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -15,6 +17,7 @@ import (
 
 	"dsmphase/internal/coherence"
 	"dsmphase/internal/harness"
+	"dsmphase/internal/rng"
 	"dsmphase/internal/workloads"
 )
 
@@ -42,6 +45,25 @@ type Config struct {
 	// MaxAttempts bounds dispatch attempts per shard, stragglers
 	// included. 0 = 3.
 	MaxAttempts int
+	// RetryBase is the backoff before a shard's first retry; each
+	// further retry doubles it, with deterministic jitter in
+	// [0.5d, 1.5d) keyed on (fingerprint, shard, attempt), capped at
+	// RetryMax. 0 = 250ms.
+	RetryBase time.Duration
+	// RetryMax caps the retry backoff. 0 = 1 minute.
+	RetryMax time.Duration
+	// AttemptTimeout bounds one dispatch attempt's wall clock: an
+	// attempt still running after it is cancelled and counted failed —
+	// the only way to reclaim a hung worker process. 0 = no timeout.
+	AttemptTimeout time.Duration
+	// QuarantineAfter benches a worker after N consecutive failed
+	// attempts (artifact validation included). A benched worker is
+	// dispatched only when no healthy worker is idle, as a probe; a
+	// probe success restores it. 0 = 5.
+	QuarantineAfter int
+	// WrapWorker, when non-nil, wraps every parsed worker — the seam
+	// the fault-injection plane (internal/faults.Wrap) plugs into.
+	WrapWorker func(Worker) Worker
 	// WorkerParallel is the -parallel value passed to each worker
 	// process; 0 keeps the worker's own default (all CPUs).
 	WorkerParallel int
@@ -53,6 +75,12 @@ type Config struct {
 	ExtraWorkerArgs []string
 	// Logf, if non-nil, receives coordinator log lines.
 	Logf func(format string, args ...any)
+
+	// preMergeHook, when set (package-internal tests only), runs after
+	// a job's last shard completes and before the merged artifact is
+	// assembled; a non-nil error fails the job there — simulating a
+	// coordinator crash in the completion/merge window.
+	preMergeHook func(*Job) error
 }
 
 func (c *Config) fill() {
@@ -67,6 +95,15 @@ func (c *Config) fill() {
 	}
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 250 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = time.Minute
+	}
+	if c.QuarantineAfter <= 0 {
+		c.QuarantineAfter = 5
 	}
 	if c.PollInterval <= 0 {
 		c.PollInterval = 500 * time.Millisecond
@@ -105,6 +142,12 @@ type JobRequest struct {
 	// attempt's dir, so Apps can name workloads the coordinator binary
 	// has never heard of.
 	Workloads []string `json:"workloads,omitempty"`
+	// AllowPartial opts into graceful degradation: a shard that
+	// exhausts its attempt budget completes the job in the "degraded"
+	// state instead of failing it — the report carries per-cell errors
+	// on exactly the injured (never-recovered) cells, and the result is
+	// never cached.
+	AllowPartial bool `json:"allow_partial,omitempty"`
 }
 
 // normalize applies the CLI-equivalent defaults in place.
@@ -206,15 +249,26 @@ const (
 	StateRunning = "running"
 	StateMerging = "merging"
 	StateDone    = "done"
-	StateFailed  = "failed"
+	// StateDegraded is the AllowPartial terminal state: the job merged
+	// and serves a report, but one or more shards exhausted their
+	// attempts and their unrecovered cells carry errors.
+	StateDegraded = "degraded"
+	StateFailed   = "failed"
 )
+
+// terminalState reports whether a job state is final.
+func terminalState(s string) bool {
+	return s == StateDone || s == StateDegraded || s == StateFailed
+}
 
 // Event is one server-sent progress notification of a job. Cell-level
 // events embed the same harness.ProgressEvent the CLI's stderr printer
 // renders, so both surfaces consume one structured source.
 type Event struct {
-	// Type is the event kind: queued, start, dispatch, retry, straggler,
-	// shard-done, cells, merged, cache-hit, done, failed.
+	// Type is the event kind: queued, start, dispatch, retry, probe,
+	// straggler, recovered, quarantine, worker-restored,
+	// checksum-failed, shard-done, shard-degraded, cells, merged,
+	// cache-evict, cache-hit, done, degraded, failed.
 	Type string `json:"type"`
 	// Job is the job ID.
 	Job string `json:"job"`
@@ -228,19 +282,23 @@ type Event struct {
 
 // JobStatus is the GET /v1/jobs/{id} body.
 type JobStatus struct {
-	ID          string     `json:"id"`
-	Grid        string     `json:"grid"`
-	State       string     `json:"state"`
-	Cached      bool       `json:"cached,omitempty"`
-	Fingerprint string     `json:"fingerprint"`
-	Shards      int        `json:"shards"`
-	ShardsDone  int        `json:"shards_done"`
-	CellsDone   int        `json:"cells_done"`
-	CellsTotal  int        `json:"cells_total"`
-	Error       string     `json:"error,omitempty"`
-	Created     time.Time  `json:"created"`
-	Started     *time.Time `json:"started,omitempty"`
-	Finished    *time.Time `json:"finished,omitempty"`
+	ID          string `json:"id"`
+	Grid        string `json:"grid"`
+	State       string `json:"state"`
+	Cached      bool   `json:"cached,omitempty"`
+	Fingerprint string `json:"fingerprint"`
+	Shards      int    `json:"shards"`
+	ShardsDone  int    `json:"shards_done"`
+	CellsDone   int    `json:"cells_done"`
+	CellsTotal  int    `json:"cells_total"`
+	// Injured lists the plan indices whose cells carry errors in a
+	// degraded job's report (ascending; empty unless State is
+	// "degraded").
+	Injured  []int      `json:"injured_cells,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
 }
 
 // Job is one submission's lifecycle. All mutable state is behind mu;
@@ -265,6 +323,7 @@ type Job struct {
 	finished   time.Time
 	shardsDone int
 	cellsDone  int
+	injured    []int                  // degraded jobs: error-carrying plan indices
 	artifact   *harness.ShardArtifact // merged single-shard results
 	streams    []string               // live attempt stream paths (progress poller)
 	history    []Event
@@ -319,6 +378,7 @@ func (j *Job) Status() JobStatus {
 		ShardsDone:  j.shardsDone,
 		CellsDone:   j.cellsDone,
 		CellsTotal:  j.cellsTotal,
+		Injured:     append([]int(nil), j.injured...),
 		Error:       j.err,
 		Created:     j.created,
 	}
@@ -336,14 +396,20 @@ func (j *Job) Status() JobStatus {
 // Counters are the coordinator's scrape-friendly counters (GET
 // /v1/stats).
 type Counters struct {
-	JobsSubmitted    atomic.Int64
-	JobsDone         atomic.Int64
-	JobsFailed       atomic.Int64
-	ShardsDispatched atomic.Int64
-	ShardsRetried    atomic.Int64
-	Stragglers       atomic.Int64
-	CacheHits        atomic.Int64
-	WorkersSpawned   atomic.Int64
+	JobsSubmitted      atomic.Int64
+	JobsDone           atomic.Int64
+	JobsDegraded       atomic.Int64
+	JobsFailed         atomic.Int64
+	ShardsDispatched   atomic.Int64
+	ShardsRetried      atomic.Int64
+	ShardsRecovered    atomic.Int64
+	Stragglers         atomic.Int64
+	CacheHits          atomic.Int64
+	WorkersSpawned     atomic.Int64
+	WorkersQuarantined atomic.Int64
+	WorkersRestored    atomic.Int64
+	WorkerProbes       atomic.Int64
+	ChecksumFailures   atomic.Int64
 }
 
 // Snapshot renders the counters as a stable-keyed map.
@@ -351,12 +417,18 @@ func (c *Counters) Snapshot() map[string]int64 {
 	return map[string]int64{
 		"jobs_submitted":          c.JobsSubmitted.Load(),
 		"jobs_done":               c.JobsDone.Load(),
+		"jobs_degraded":           c.JobsDegraded.Load(),
 		"jobs_failed":             c.JobsFailed.Load(),
 		"shards_dispatched":       c.ShardsDispatched.Load(),
 		"shards_retried":          c.ShardsRetried.Load(),
+		"shards_recovered":        c.ShardsRecovered.Load(),
 		"stragglers_redispatched": c.Stragglers.Load(),
 		"cache_hits":              c.CacheHits.Load(),
 		"workers_spawned":         c.WorkersSpawned.Load(),
+		"workers_quarantined":     c.WorkersQuarantined.Load(),
+		"workers_restored":        c.WorkersRestored.Load(),
+		"worker_probes":           c.WorkerProbes.Load(),
+		"checksum_failures":       c.ChecksumFailures.Load(),
 	}
 }
 
@@ -365,11 +437,12 @@ func (c *Counters) Snapshot() map[string]int64 {
 type Coordinator struct {
 	cfg      Config
 	cache    *Cache
-	workers  chan Worker
+	pool     *workerPool
 	queue    chan *Job
 	ctx      context.Context
 	cancel   context.CancelFunc
 	wg       sync.WaitGroup
+	draining atomic.Bool
 	Counters Counters
 
 	mu     sync.Mutex
@@ -402,19 +475,23 @@ func New(cfg Config) (*Coordinator, error) {
 		return nil, err
 	}
 	c := &Coordinator{
-		cfg:     cfg,
-		cache:   cache,
-		workers: make(chan Worker, len(cfg.Workers)),
-		queue:   make(chan *Job, 1024),
-		jobs:    map[string]*Job{},
+		cfg:   cfg,
+		cache: cache,
+		queue: make(chan *Job, 1024),
+		jobs:  map[string]*Job{},
 	}
+	var workers []Worker
 	for i, spec := range cfg.Workers {
 		w, err := ParseWorker(spec, i)
 		if err != nil {
 			return nil, err
 		}
-		c.workers <- w
+		if cfg.WrapWorker != nil {
+			w = cfg.WrapWorker(w)
+		}
+		workers = append(workers, w)
 	}
+	c.pool = newWorkerPool(workers, cfg.QuarantineAfter)
 	c.loadETA()
 	c.ctx, c.cancel = context.WithCancel(context.Background())
 	c.wg.Add(1)
@@ -426,6 +503,16 @@ func New(cfg Config) (*Coordinator, error) {
 func (c *Coordinator) Close() {
 	c.cancel()
 	c.wg.Wait()
+}
+
+// BeginDrain stops job admission: every later Submit is refused while
+// running jobs (and the HTTP surface) stay up — the first half of a
+// graceful shutdown. A drained-then-killed job's shard streams stay on
+// disk, so a restarted coordinator resumes them mid-shard.
+func (c *Coordinator) BeginDrain() {
+	if !c.draining.Swap(true) {
+		c.cfg.Logf("draining: no longer accepting jobs")
+	}
 }
 
 // dispatch drains the job queue serially: shards of one job run in
@@ -447,6 +534,9 @@ func (c *Coordinator) dispatch() {
 // cache key is already resident completes instantly without touching
 // the queue or the pool.
 func (c *Coordinator) Submit(req JobRequest) (JobStatus, error) {
+	if c.draining.Load() {
+		return JobStatus{}, fmt.Errorf("service: coordinator is draining, not accepting jobs")
+	}
 	req.normalize()
 	grid, err := req.compile()
 	if err != nil {
@@ -475,7 +565,14 @@ func (c *Coordinator) Submit(req JobRequest) (JobStatus, error) {
 	c.mu.Unlock()
 	c.Counters.JobsSubmitted.Add(1)
 
-	if art, ok := c.cache.Get(j.Key); ok {
+	art, ok, dropped := c.cache.get(j.Key)
+	if dropped {
+		// The cached entry existed but failed its content checksum:
+		// evicted, and this job recomputes it.
+		j.publish(Event{Type: "cache-evict", Msg: j.Key})
+		c.cfg.Logf("job %s: corrupt cache entry %s evicted, recomputing", j.ID, j.Key)
+	}
+	if ok {
 		c.Counters.CacheHits.Add(1)
 		c.Counters.JobsDone.Add(1)
 		j.mu.Lock()
@@ -555,15 +652,14 @@ func (c *Coordinator) runJob(j *Job) {
 	pollDone := make(chan struct{})
 	go c.pollCells(ctx, j, pollDone)
 
-	arts := make([]string, j.of)
-	errs := make([]error, j.of)
+	outs := make([]shardOutcome, j.of)
 	var wg sync.WaitGroup
 	for i := 0; i < j.of; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			arts[i], errs[i] = c.runShard(ctx, j, jobDir, i)
-			if errs[i] == nil {
+			outs[i] = c.runShard(ctx, j, jobDir, i)
+			if outs[i].err == nil {
 				j.mu.Lock()
 				j.shardsDone++
 				j.mu.Unlock()
@@ -575,9 +671,26 @@ func (c *Coordinator) runJob(j *Job) {
 	cancel() // stop the poller before the final state transition
 	<-pollDone
 
-	for i, err := range errs {
-		if err != nil {
-			c.failJob(j, fmt.Errorf("shard %d/%d: %w", i, j.of, err))
+	if c.ctx.Err() != nil {
+		// Coordinator shutdown, not shard exhaustion: never degrade,
+		// leave the job dirs for a restarted coordinator to resume.
+		c.failJob(j, c.ctx.Err())
+		return
+	}
+	exhausted := 0
+	for i := range outs {
+		if outs[i].err != nil {
+			if !j.Req.AllowPartial {
+				c.failJob(j, fmt.Errorf("shard %d/%d: %w", i, j.of, outs[i].err))
+				return
+			}
+			exhausted++
+		}
+	}
+
+	if c.cfg.preMergeHook != nil {
+		if err := c.cfg.preMergeHook(j); err != nil {
+			c.failJob(j, err)
 			return
 		}
 	}
@@ -585,11 +698,29 @@ func (c *Coordinator) runJob(j *Job) {
 	j.mu.Lock()
 	j.state = StateMerging
 	j.mu.Unlock()
-	artifacts, err := harness.ReadShardArtifactFiles(arts)
-	if err != nil {
-		c.failJob(j, err)
-		return
+	artifacts := make([]*harness.ShardArtifact, 0, j.of)
+	var injured []int
+	for i := range outs {
+		if outs[i].err == nil {
+			a, err := harness.ReadShardArtifactFile(outs[i].path)
+			if err != nil {
+				c.failJob(j, err)
+				return
+			}
+			artifacts = append(artifacts, a)
+			continue
+		}
+		a, inj, err := c.synthesizeDegradedShard(j, i, outs[i].stream, outs[i].err)
+		if err != nil {
+			c.failJob(j, fmt.Errorf("degrading shard %d/%d: %w", i, j.of, err))
+			return
+		}
+		j.publish(Event{Type: "shard-degraded", Shard: i,
+			Msg: fmt.Sprintf("%d cells injured: %v", len(inj), outs[i].err)})
+		artifacts = append(artifacts, a)
+		injured = append(injured, inj...)
 	}
+	sort.Ints(injured)
 	results, err := harness.MergeShards(j.Grid.Spec, j.Grid.Name, artifacts)
 	if err != nil {
 		c.failJob(j, err)
@@ -604,24 +735,91 @@ func (c *Coordinator) runJob(j *Job) {
 		return
 	}
 	merged := &harness.ShardArtifact{Format: harness.ShardFormat, Shard: 0, Of: 1, Grids: []harness.ShardGrid{mg}}
-	if err := c.cache.Put(j.Key, merged); err != nil {
-		c.cfg.Logf("job %s: cache put: %v", j.ID, err)
+	if exhausted == 0 {
+		// Degraded results never enter the cache (a later identical
+		// submission deserves a fresh, possibly whole, run) and never
+		// feed the ETA prior (injured cells have zero wall time).
+		if err := c.cache.Put(j.Key, merged); err != nil {
+			c.cfg.Logf("job %s: cache put: %v", j.ID, err)
+		}
+		c.updateETA(merged)
 	}
-	c.updateETA(merged)
 	j.publish(Event{Type: "merged"})
 
 	j.mu.Lock()
 	j.artifact = merged
-	j.state = StateDone
 	j.finished = time.Now()
-	j.cellsDone = j.cellsTotal
+	j.cellsDone = j.cellsTotal - len(injured)
+	j.injured = injured
+	if exhausted > 0 {
+		j.state = StateDegraded
+	} else {
+		j.state = StateDone
+	}
 	j.mu.Unlock()
+	if exhausted > 0 {
+		c.Counters.JobsDegraded.Add(1)
+		j.publish(Event{Type: "degraded",
+			Msg: fmt.Sprintf("%d of %d shards exhausted, %d cells injured", exhausted, j.of, len(injured))})
+		c.cfg.Logf("job %s: degraded in %v (%d injured cells)",
+			j.ID, time.Since(j.started).Round(time.Millisecond), len(injured))
+		// Keep the job dirs: a degraded run's attempts are post-mortem
+		// material, like a failed run's.
+		return
+	}
 	c.Counters.JobsDone.Add(1)
 	j.publish(Event{Type: "done"})
 	c.cfg.Logf("job %s: done in %v", j.ID, time.Since(j.started).Round(time.Millisecond))
 	// The per-attempt work dirs only matter for post-mortems of failed
 	// jobs; a finished job's truth is the merged artifact.
 	_ = os.RemoveAll(jobDir)
+}
+
+// synthesizeDegradedShard builds the artifact of a shard that
+// exhausted its attempts: every cell recovered from the last attempt's
+// stream keeps its real result, and each still-missing plan index
+// becomes an error cell carrying the shard's failure — the same
+// per-cell error isolation Assemble applies to in-process failures.
+// Returns the artifact plus the injured (error-carrying) indices.
+func (c *Coordinator) synthesizeDegradedShard(j *Job, shard int, streamPath string, cause error) (*harness.ShardArtifact, []int, error) {
+	plan := j.Grid.Spec.Plan()
+	recovered := map[int]harness.CellResult{}
+	if streamPath != "" {
+		if grids, err := harness.ReadCellStream(streamPath); err == nil {
+			if g, ok := grids[j.Grid.Name]; ok && g.Matches(j.Grid.Name, j.fingerprint, shard, j.of, plan.Len()) {
+				for _, sc := range g.Cells {
+					if _, dup := recovered[sc.Index]; dup {
+						continue
+					}
+					if r, err := sc.CellResult(); err == nil {
+						recovered[sc.Index] = r
+					}
+				}
+			}
+		}
+	}
+	cells := plan.Cells()
+	var results []harness.CellResult
+	var injured []int
+	for _, i := range plan.ShardIndices(shard, j.of) {
+		if r, ok := recovered[i]; ok {
+			results = append(results, r)
+			continue
+		}
+		results = append(results, harness.CellResult{
+			Index: i,
+			Cell:  cells[i],
+			Err:   fmt.Errorf("shard %d/%d exhausted its attempts: %v", shard, j.of, cause),
+		})
+		injured = append(injured, i)
+	}
+	g, err := harness.NewShardGrid(j.Grid.Name, j.Grid.Spec, results, j.Grid.Tuning, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &harness.ShardArtifact{
+		Format: harness.ShardFormat, Shard: shard, Of: j.of, Grids: []harness.ShardGrid{g},
+	}, injured, nil
 }
 
 func (c *Coordinator) failJob(j *Job, err error) {
@@ -635,16 +833,59 @@ func (c *Coordinator) failJob(j *Job, err error) {
 	c.cfg.Logf("job %s: failed: %v", j.ID, err)
 }
 
+// shardOutcome is one shard's terminal dispatch result: the validated
+// artifact path (err == nil), or the final error plus the last
+// attempt's stream path — the degraded path's recovery material.
+type shardOutcome struct {
+	path   string
+	stream string
+	err    error
+}
+
+// retryDelay is the backoff before launching retry attempt `attempt`
+// (1-based): RetryBase doubling per attempt, capped at RetryMax, with
+// deterministic jitter in [0.5d, 1.5d) keyed on (plan fingerprint,
+// shard, attempt) — spread out in anger, replayable under test.
+func (c *Coordinator) retryDelay(j *Job, shard, attempt int) time.Duration {
+	d := c.cfg.RetryBase
+	for i := 1; i < attempt && d < c.cfg.RetryMax; i++ {
+		d *= 2
+	}
+	if d > c.cfg.RetryMax {
+		d = c.cfg.RetryMax
+	}
+	seed, _ := strconv.ParseUint(j.fingerprint, 16, 64)
+	h := rng.Hash64(seed)
+	h = rng.Hash64(h ^ uint64(shard+1))
+	h = rng.Hash64(h ^ uint64(attempt))
+	frac := float64(h%1024) / 1024 // [0, 1)
+	return d/2 + time.Duration(frac*float64(d))
+}
+
 // runShard drives one shard to a validated artifact: dispatch an
-// attempt, re-dispatch on failure (the new attempt resumes from a copy
-// of the dead attempt's cell stream), and dispatch a backup attempt to
-// an idle worker when the running one exceeds the straggler threshold.
-// First validated completion wins; losing attempts are cancelled, and
-// a duplicate completion is simply ignored — each attempt writes only
-// inside its own dir, and every artifact is fingerprint-validated.
-func (c *Coordinator) runShard(ctx context.Context, j *Job, jobDir string, shard int) (string, error) {
+// attempt, re-dispatch on failure after an exponential backoff with
+// deterministic jitter (the new attempt resumes from a copy of the
+// dead attempt's cell stream), bound each attempt by AttemptTimeout,
+// and dispatch a backup attempt to an idle worker when the running one
+// exceeds the straggler threshold. First validated completion wins;
+// losing attempts are cancelled, and a duplicate completion is simply
+// ignored — each attempt writes only inside its own dir, and every
+// artifact is checksum- and fingerprint-validated. Each attempt's
+// verdict feeds its worker's health score (quarantine circuit
+// breaker). Before dispatching anything, the shard dir left by a
+// previous coordinator process is scanned for an already-valid
+// artifact — the crash-during-merge recovery path.
+func (c *Coordinator) runShard(ctx context.Context, j *Job, jobDir string, shard int) shardOutcome {
+	if path, ok := c.recoverShard(j, jobDir, shard); ok {
+		c.Counters.ShardsRecovered.Add(1)
+		j.publish(Event{Type: "recovered", Shard: shard, Msg: path})
+		c.cfg.Logf("job %s: shard %d recovered from previous run's artifact", j.ID, shard)
+		return shardOutcome{path: path}
+	}
+
 	type outcome struct {
 		dir string
+		w   Worker
 		err error
 	}
 	outcomes := make(chan outcome, c.cfg.MaxAttempts)
@@ -658,21 +899,21 @@ func (c *Coordinator) runShard(ctx context.Context, j *Job, jobDir string, shard
 		}
 	}()
 
-	launch := func(w Worker, kind string) error {
+	launch := func(w Worker, probe bool, kind string) error {
 		k := attempts
 		attempts++
 		running++
 		dir := filepath.Join(jobDir, fmt.Sprintf("shard_%d", shard), fmt.Sprintf("attempt_%d", k))
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			c.releaseWorker(w)
+			c.pool.release(w)
 			return err
 		}
 		if err := writeWorkloadSpecs(dir, j.Req.Workloads); err != nil {
-			c.releaseWorker(w)
+			c.pool.release(w)
 			return err
 		}
 		stream := filepath.Join(dir, shardBase(shard, j.of)+".cells.jsonl")
-		if lastStream != "" {
+		if lastStream != "" && lastStream != stream {
 			// Seed resume: snapshot the previous attempt's stream (readers
 			// tolerate a torn tail, so copying under a live writer is safe).
 			if data, err := os.ReadFile(lastStream); err == nil {
@@ -685,25 +926,35 @@ func (c *Coordinator) runShard(ctx context.Context, j *Job, jobDir string, shard
 		j.mu.Unlock()
 		args := c.cfg.workerArgs(j.Req, shard, j.of, dir)
 		actx, acancel := context.WithCancel(ctx)
+		if c.cfg.AttemptTimeout > 0 {
+			actx, acancel = context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+		}
 		cancels = append(cancels, acancel)
 		c.Counters.ShardsDispatched.Add(1)
 		c.Counters.WorkersSpawned.Add(1)
+		if probe {
+			c.Counters.WorkerProbes.Add(1)
+			j.publish(Event{Type: "probe", Shard: shard, Msg: w.Name()})
+		}
 		j.publish(Event{Type: kind, Shard: shard, Msg: w.Name()})
 		c.cfg.Logf("job %s: shard %d attempt %d on %s", j.ID, shard, k, w.Name())
 		go func() {
 			err := w.Run(actx, c.cfg.ExperimentsBin, args)
-			c.releaseWorker(w)
-			outcomes <- outcome{dir: dir, err: err}
+			if err != nil && errors.Is(actx.Err(), context.DeadlineExceeded) && ctx.Err() == nil {
+				err = fmt.Errorf("attempt timed out after %v: %w", c.cfg.AttemptTimeout, err)
+			}
+			c.pool.release(w)
+			outcomes <- outcome{dir: dir, w: w, err: err}
 		}()
 		return nil
 	}
 
-	w, err := c.acquireWorker(ctx)
+	w, probe, err := c.pool.acquire(ctx)
 	if err != nil {
-		return "", err
+		return shardOutcome{stream: lastStream, err: err}
 	}
-	if err := launch(w, "dispatch"); err != nil {
-		return "", err
+	if err := launch(w, probe, "dispatch"); err != nil {
+		return shardOutcome{stream: lastStream, err: err}
 	}
 	straggler := time.NewTimer(c.cfg.StragglerAfter)
 	defer straggler.Stop()
@@ -716,42 +967,99 @@ func (c *Coordinator) runShard(ctx context.Context, j *Job, jobDir string, shard
 			if o.err == nil {
 				path := filepath.Join(o.dir, shardBase(shard, j.of)+".json")
 				if err := c.validateArtifact(path, j, shard); err == nil {
-					return path, nil
+					c.scoreWorker(j, shard, o.w, true)
+					return shardOutcome{path: path, stream: lastStream}
 				} else {
+					if errors.Is(err, harness.ErrArtifactChecksum) {
+						c.Counters.ChecksumFailures.Add(1)
+						j.publish(Event{Type: "checksum-failed", Shard: shard, Msg: err.Error()})
+					}
 					o.err = err
 				}
 			}
+			c.scoreWorker(j, shard, o.w, false)
 			lastErr = o.err
 			if ctx.Err() != nil {
-				return "", ctx.Err()
+				return shardOutcome{stream: lastStream, err: ctx.Err()}
 			}
 			if attempts < c.cfg.MaxAttempts {
 				c.Counters.ShardsRetried.Add(1)
-				w, err := c.acquireWorker(ctx)
-				if err != nil {
-					return "", err
+				delay := c.retryDelay(j, shard, attempts)
+				select {
+				case <-time.After(delay):
+				case <-ctx.Done():
+					return shardOutcome{stream: lastStream, err: ctx.Err()}
 				}
-				if err := launch(w, "retry"); err != nil {
-					return "", err
+				w, probe, err := c.pool.acquire(ctx)
+				if err != nil {
+					return shardOutcome{stream: lastStream, err: err}
+				}
+				if err := launch(w, probe, "retry"); err != nil {
+					return shardOutcome{stream: lastStream, err: err}
 				}
 			} else if running == 0 {
-				return "", fmt.Errorf("all %d attempts failed, last: %w", attempts, lastErr)
+				return shardOutcome{stream: lastStream,
+					err: fmt.Errorf("all %d attempts failed, last: %w", attempts, lastErr)}
 			}
 		case <-straggler.C:
-			// The attempt is slow, not dead. If a worker is idle and the
-			// attempt budget allows, race a backup against it.
+			// The attempt is slow, not dead. If a healthy worker is idle
+			// and the attempt budget allows, race a backup against it.
 			if attempts < c.cfg.MaxAttempts {
-				if w, ok := c.tryAcquireWorker(); ok {
+				if w, ok := c.pool.tryAcquire(); ok {
 					c.Counters.Stragglers.Add(1)
-					if err := launch(w, "straggler"); err != nil {
-						return "", err
+					if err := launch(w, false, "straggler"); err != nil {
+						return shardOutcome{stream: lastStream, err: err}
 					}
 				}
 			}
 			straggler.Reset(c.cfg.StragglerAfter)
 		case <-ctx.Done():
-			return "", ctx.Err()
+			return shardOutcome{stream: lastStream, err: ctx.Err()}
 		}
+	}
+}
+
+// recoverShard scans a shard's attempt dirs — left on disk by a
+// previous coordinator process whose job failed or died before the
+// merge — for an artifact that already validates (latest attempt
+// first). Stale dirs from an unrelated plan never validate: the
+// fingerprint check rejects them.
+func (c *Coordinator) recoverShard(j *Job, jobDir string, shard int) (string, bool) {
+	shardDir := filepath.Join(jobDir, fmt.Sprintf("shard_%d", shard))
+	ents, err := os.ReadDir(shardDir)
+	if err != nil {
+		return "", false
+	}
+	var ks []int
+	for _, e := range ents {
+		if k, ok := strings.CutPrefix(e.Name(), "attempt_"); ok && e.IsDir() {
+			if n, err := strconv.Atoi(k); err == nil {
+				ks = append(ks, n)
+			}
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ks)))
+	for _, k := range ks {
+		path := filepath.Join(shardDir, fmt.Sprintf("attempt_%d", k), shardBase(shard, j.of)+".json")
+		if err := c.validateArtifact(path, j, shard); err == nil {
+			return path, true
+		}
+	}
+	return "", false
+}
+
+// scoreWorker feeds an attempt verdict to the quarantine circuit
+// breaker and publishes the transition, if any.
+func (c *Coordinator) scoreWorker(j *Job, shard int, w Worker, ok bool) {
+	switch c.pool.report(w, ok) {
+	case healthBenched:
+		c.Counters.WorkersQuarantined.Add(1)
+		j.publish(Event{Type: "quarantine", Shard: shard, Msg: w.Name()})
+		c.cfg.Logf("worker %s quarantined after %d consecutive failures", w.Name(), c.cfg.QuarantineAfter)
+	case healthRestored:
+		c.Counters.WorkersRestored.Add(1)
+		j.publish(Event{Type: "worker-restored", Shard: shard, Msg: w.Name()})
+		c.cfg.Logf("worker %s restored by successful probe", w.Name())
 	}
 }
 
@@ -776,26 +1084,6 @@ func (c *Coordinator) validateArtifact(path string, j *Job, shard int) error {
 	}
 	return nil
 }
-
-func (c *Coordinator) acquireWorker(ctx context.Context) (Worker, error) {
-	select {
-	case w := <-c.workers:
-		return w, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
-}
-
-func (c *Coordinator) tryAcquireWorker() (Worker, bool) {
-	select {
-	case w := <-c.workers:
-		return w, true
-	default:
-		return nil, false
-	}
-}
-
-func (c *Coordinator) releaseWorker(w Worker) { c.workers <- w }
 
 // pollCells streams cell-level progress: every PollInterval it unions
 // the completed plan indices across the job's attempt streams and, on
@@ -892,13 +1180,13 @@ func (c *Coordinator) updateETA(a *harness.ShardArtifact) {
 	}
 }
 
-// Artifact returns a done job's merged results artifact (from memory,
-// falling back to the cache).
+// Artifact returns a done (or degraded) job's merged results artifact
+// (from memory, falling back to the cache).
 func (j *Job) Artifact(c *Coordinator) (*harness.ShardArtifact, error) {
 	j.mu.Lock()
 	art, state := j.artifact, j.state
 	j.mu.Unlock()
-	if state != StateDone {
+	if state != StateDone && state != StateDegraded {
 		return nil, fmt.Errorf("service: job %s is %s, not done", j.ID, state)
 	}
 	if art != nil {
